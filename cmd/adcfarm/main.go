@@ -1,0 +1,91 @@
+// Command adcfarm launches a live ADC HTTP proxy farm on loopback ports
+// and keeps it serving until interrupted — the paper's future-work "real
+// proxy system" (§VI) as a runnable daemon. Any HTTP client can fetch
+// objects through any proxy:
+//
+//	adcfarm -proxies 4 &
+//	curl -H 'X-Adc-Request-Id: r1' http://127.0.0.1:<port>/obj/42
+//
+// Optionally warm the farm first with a synthetic workload (-warm) so the
+// caches and mapping tables start converged.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/adc-sim/adc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adcfarm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adcfarm", flag.ContinueOnError)
+	var (
+		proxies  = fs.Int("proxies", 5, "number of proxy servers")
+		single   = fs.Int("single", 2000, "single-table size")
+		multiple = fs.Int("multiple", 2000, "multiple-table size")
+		caching  = fs.Int("caching", 1000, "caching-table size (payload store)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		warm     = fs.Int("warm", 0, "warm up with this many synthetic requests before serving")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	farm, err := adc.NewHTTPFarm(adc.HTTPFarmConfig{
+		Proxies:       *proxies,
+		SingleTable:   *single,
+		MultipleTable: *multiple,
+		CachingTable:  *caching,
+		Seed:          *seed,
+	})
+	if err != nil {
+		return err
+	}
+	defer farm.Close() //nolint:errcheck // teardown on exit
+
+	if *warm > 0 {
+		gen, err := adc.NewWorkload(adc.WorkloadConfig{
+			Requests:   *warm,
+			Population: *caching,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return err
+		}
+		requests, hits, err := farm.Run(gen, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("warmed with %d requests (hit rate %.3f)\n",
+			requests, float64(hits)/float64(requests))
+	}
+
+	fmt.Printf("origin: %s\n", farm.OriginURL())
+	for i := 0; i < *proxies; i++ {
+		url, err := farm.ProxyURL(i)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("proxy %d: %s\n", i, url)
+	}
+	fmt.Println("\nfetch objects with:")
+	url, _ := farm.ProxyURL(0)
+	fmt.Printf("  curl -H 'X-Adc-Request-Id: r1' %s/obj/42\n", url)
+	fmt.Println("\nserving; Ctrl-C to stop")
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("\nshutting down")
+	return nil
+}

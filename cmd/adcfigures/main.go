@@ -1,0 +1,268 @@
+// Command adcfigures regenerates every figure of the paper's evaluation
+// section and the extension studies, printing ASCII charts and writing
+// CSV files for external plotting. EXPERIMENTS.md documents how each
+// output compares to the paper.
+//
+// Examples:
+//
+//	adcfigures                      # all figures at 1/10 scale into ./figures
+//	adcfigures -fig 11              # only Fig. 11
+//	adcfigures -scale 1 -out paper  # full paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/adc-sim/adc"
+	"github.com/adc-sim/adc/internal/plot"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adcfigures:", err)
+		os.Exit(1)
+	}
+}
+
+type app struct {
+	profile adc.Profile
+	outDir  string
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adcfigures", flag.ContinueOnError)
+	var (
+		scale  = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
+		seed   = fs.Int64("seed", 1, "random seed")
+		outDir = fs.String("out", "figures", "directory for CSV output")
+		fig    = fs.Int("fig", 0, "regenerate only this figure (11–15; 0 = all + extensions)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	a := &app{
+		profile: adc.Profile{Scale: *scale, Seed: *seed},
+		outDir:  *outDir,
+	}
+
+	type figure struct {
+		id  int
+		fn  func() error
+		ext bool
+	}
+	figures := []figure{
+		{id: 11, fn: a.figures11and12}, // 12 shares the run
+		{id: 13, fn: a.figures13and14}, // 14 shares the sweep
+		{id: 15, fn: a.figure15},
+		{fn: a.extensions, ext: true},
+	}
+	for _, f := range figures {
+		if *fig != 0 {
+			if f.ext {
+				continue
+			}
+			// Figs. 11/12 and 13/14 share a runner.
+			if f.id != *fig && f.id+1 != *fig {
+				continue
+			}
+		}
+		if err := f.fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *app) writeCSV(name, xLabel string, series ...plot.Series) error {
+	path := filepath.Join(a.outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // close error checked below
+	if err := plot.WriteCSV(f, xLabel, series...); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n\n", path)
+	return nil
+}
+
+func (a *app) figures11and12() error {
+	fmt.Println("=== Figures 11 & 12: ADC vs Hashing (hit rate, hops) ===")
+	cmp, err := adc.Compare(a.profile, false)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("phases: fill ends at %d requests, phase II starts at %d\n",
+		cmp.FillEnd, cmp.Phase2End)
+	fmt.Printf("cumulative: ADC hit %.3f / hops %.2f — hashing hit %.3f / hops %.2f\n\n",
+		cmp.ADCHitRate, cmp.ADCHops, cmp.HashingHitRate, cmp.HashingHops)
+
+	hit := func(pts []adc.Point) plot.Series {
+		s := plot.Series{}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Requests))
+			s.Y = append(s.Y, p.HitRate)
+		}
+		return s
+	}
+	hops := func(pts []adc.Point) plot.Series {
+		s := plot.Series{}
+		for _, p := range pts {
+			s.X = append(s.X, float64(p.Requests))
+			s.Y = append(s.Y, p.Hops)
+		}
+		return s
+	}
+
+	adcHit, hashHit := hit(cmp.ADC), hit(cmp.Hashing)
+	adcHit.Name, hashHit.Name = "ADC", "Hashing"
+	fmt.Println(plot.RenderASCII("Figure 11: hit rate (moving average) vs requests", 72, 16, adcHit, hashHit))
+	if err := a.writeCSV("figure11_hitrate.csv", "requests", adcHit, hashHit); err != nil {
+		return err
+	}
+
+	adcHops, hashHops := hops(cmp.ADC), hops(cmp.Hashing)
+	adcHops.Name, hashHops.Name = "ADC", "Hashing"
+	fmt.Println(plot.RenderASCII("Figure 12: hops (moving average) vs requests", 72, 16, adcHops, hashHops))
+	return a.writeCSV("figure12_hops.csv", "requests", adcHops, hashHops)
+}
+
+func (a *app) figures13and14() error {
+	fmt.Println("=== Figures 13 & 14: hit rate and hops by table size ===")
+	pts, err := adc.Sweep(a.profile)
+	if err != nil {
+		return err
+	}
+	hitSeries := bySweepTable(pts, func(p adc.SweepPoint) float64 { return p.HitRate })
+	fmt.Println(plot.RenderASCII("Figure 13: hit rate by table size", 72, 14, hitSeries...))
+	if err := a.writeCSV("figure13_hits_by_size.csv", "size", hitSeries...); err != nil {
+		return err
+	}
+	hopSeries := bySweepTable(pts, func(p adc.SweepPoint) float64 { return p.Hops })
+	fmt.Println(plot.RenderASCII("Figure 14: hops by table size", 72, 14, hopSeries...))
+	return a.writeCSV("figure14_hops_by_size.csv", "size", hopSeries...)
+}
+
+func (a *app) figure15() error {
+	fmt.Println("=== Figure 15: processing time by table size (paper-faithful O(n) tables) ===")
+	pts, err := adc.TimingSweep(a.profile)
+	if err != nil {
+		return err
+	}
+	series := bySweepTable(pts, func(p adc.SweepPoint) float64 { return p.Elapsed.Seconds() })
+	fmt.Println(plot.RenderASCII("Figure 15: processing time (s) by table size", 72, 14, series...))
+	return a.writeCSV("figure15_time_by_size.csv", "size", series...)
+}
+
+func bySweepTable(pts []adc.SweepPoint, y func(adc.SweepPoint) float64) []plot.Series {
+	order := []string{"caching", "multiple", "single"}
+	bucket := map[string]*plot.Series{}
+	for _, name := range order {
+		bucket[name] = &plot.Series{Name: name}
+	}
+	for _, pt := range pts {
+		s := bucket[pt.Table]
+		if s == nil {
+			continue
+		}
+		s.X = append(s.X, float64(pt.Size))
+		s.Y = append(s.Y, y(pt))
+	}
+	var out []plot.Series
+	for _, name := range order {
+		if len(bucket[name].X) > 0 {
+			out = append(out, *bucket[name])
+		}
+	}
+	return out
+}
+
+func (a *app) extensions() error {
+	fmt.Println("=== Extensions: max-hops sweep, ablations, backends, consistent hashing ===")
+
+	mh, err := adc.MaxHopsSweep(a.profile, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("max-hops bound (0 = unbounded, the paper's setting):")
+	mhs := plot.Series{Name: "hit rate"}
+	for _, pt := range mh {
+		fmt.Printf("  maxhops=%d  hit=%.4f  hops=%.3f\n", pt.MaxHops, pt.HitRate, pt.Hops)
+		bound := float64(pt.MaxHops)
+		if pt.MaxHops == 0 {
+			bound = 10 // plot the unbounded point to the right
+		}
+		mhs.X = append(mhs.X, bound)
+		mhs.Y = append(mhs.Y, pt.HitRate)
+	}
+	if err := a.writeCSV("ext_maxhops.csv", "maxhops", mhs); err != nil {
+		return err
+	}
+
+	sel, err := adc.SelectiveCachingAblation(a.profile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("selective caching vs cache-all LRU: %.4f vs %.4f (Δ %+.4f)\n",
+		sel.Full, sel.Ablated, sel.Full-sel.Ablated)
+
+	ag, err := adc.AgingAblation(a.profile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("aging on vs off:                    %.4f vs %.4f (Δ %+.4f)\n",
+		ag.Full, ag.Ablated, ag.Full-ag.Ablated)
+
+	be, err := adc.BackendComparison(a.profile)
+	if err != nil {
+		return err
+	}
+	fmt.Println("ordered-table backends (identical simulation):")
+	for _, pt := range be {
+		fmt.Printf("  %-14s %v (hit %.4f)\n", pt.Backend, pt.Elapsed.Round(1e6), pt.HitRate)
+	}
+
+	rt, err := adc.ResponseTime(a.profile, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("response time (WAN latency model): ADC %.1f ms vs hashing %.1f ms\n",
+		rt.ADCMean/1000, rt.HashingMean/1000)
+
+	pl, err := adc.PreLearned(a.profile)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pre-learned replay (§V.2.1 future work): pass 1 hit %.4f → pass 2 hit %.4f\n",
+		pl.FirstPass, pl.SecondPass)
+
+	pc, err := adc.ProxyCountSweep(a.profile, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println("proxy count (total capacity constant):")
+	for _, pt := range pc {
+		fmt.Printf("  proxies=%d  hit=%.4f  hops=%.3f\n", pt.Proxies, pt.HitRate, pt.Hops)
+	}
+
+	base, err := adc.Baselines(a.profile)
+	if err != nil {
+		return err
+	}
+	fmt.Println("all baselines (post-fill hit rate / hops / busiest-node share):")
+	for _, pt := range base {
+		fmt.Printf("  %-6s hit=%.4f hops=%.3f bottleneck=%.2f\n",
+			pt.Algorithm, pt.HitRate, pt.Hops, pt.BottleneckShare)
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command adcgen generates the synthetic three-phase workload (the
+// PolyMix-4 substitution, DESIGN.md §3) and writes it as a binary or text
+// trace for exactly repeatable experiments.
+//
+// Examples:
+//
+//	adcgen -o trace.bin                       # default 400k-request stream
+//	adcgen -requests 3990000 -o paper.bin     # paper-scale trace
+//	adcgen -format text -o trace.txt          # one object ID per line
+//	adcgen -stats                             # print phase/popularity stats only
+//	adcgen -from-squid access.log -o real.bin # convert a Squid log to a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/adc-sim/adc"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adcgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adcgen", flag.ContinueOnError)
+	var (
+		requests   = fs.Int("requests", 400_000, "stream length")
+		population = fs.Int("population", 1000, "hot object population (0: 20% of fill)")
+		alpha      = fs.Float64("alpha", 0.8, "Zipf popularity exponent")
+		oneTimers  = fs.Float64("onetimers", 0.3, "request-phase one-timer probability")
+		seed       = fs.Int64("seed", 1, "random seed")
+		out        = fs.String("o", "", "output file (required unless -stats)")
+		format     = fs.String("format", "binary", "output format: binary or text")
+		stats      = fs.Bool("stats", false, "print stream statistics instead of writing")
+		fromSquid  = fs.String("from-squid", "", "convert a Squid access.log into a trace instead of generating")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *fromSquid != "" {
+		return convertSquid(*fromSquid, *out)
+	}
+
+	cfg := adc.WorkloadConfig{
+		Requests:     *requests,
+		Population:   *population,
+		Alpha:        *alpha,
+		OneTimerProb: *oneTimers,
+		Seed:         *seed,
+	}
+	gen, err := adc.NewWorkload(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *stats {
+		return printStats(gen)
+	}
+	if *out == "" {
+		return fmt.Errorf("output file required (-o), or use -stats")
+	}
+
+	switch *format {
+	case "binary":
+		if err := adc.SaveTraceFile(*out, gen); err != nil {
+			return err
+		}
+	case "text":
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // double close guarded below
+		if err := writeText(f, gen); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown format %q (want binary or text)", *format)
+	}
+	fmt.Printf("wrote %d requests to %s (%s)\n", *requests, *out, *format)
+	return nil
+}
+
+// convertSquid parses a Squid access.log and writes it as a binary trace.
+func convertSquid(logPath, out string) error {
+	if out == "" {
+		return fmt.Errorf("output file required (-o)")
+	}
+	f, err := os.Open(logPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close() //nolint:errcheck // read-only file
+	src, stats, err := trace.ParseSquidLog(f)
+	if err != nil {
+		return err
+	}
+	outF, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer outF.Close() //nolint:errcheck // close error checked below
+	if err := trace.Write(outF, src); err != nil {
+		return err
+	}
+	if err := outF.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d requests (%d distinct URLs, %d malformed lines skipped) to %s\n",
+		stats.Requests, stats.Distinct, stats.Malformed, out)
+	return nil
+}
+
+func writeText(f *os.File, src adc.Source) error {
+	for {
+		obj, ok := src.Next()
+		if !ok {
+			return nil
+		}
+		if _, err := fmt.Fprintln(f, obj); err != nil {
+			return err
+		}
+	}
+}
+
+func printStats(gen *adc.Workload) error {
+	fillEnd, phase2End := gen.Boundaries()
+	st := adc.AnalyzeWorkload(gen)
+	fmt.Printf("requests          %d\n", st.Requests)
+	fmt.Printf("phases            fill [0,%d)  request-I [%d,%d)  request-II [%d,%d)\n",
+		fillEnd, fillEnd, phase2End, phase2End, st.Requests)
+	fmt.Printf("distinct objects  %d\n", st.Distinct)
+	fmt.Printf("hot population    %d\n", gen.Population())
+	fmt.Printf("one-timer objects %d (%.1f%% of objects)\n",
+		st.OneTimers, 100*float64(st.OneTimers)/float64(st.Distinct))
+	fmt.Printf("recurring traffic %.1f%% of requests (warm-cache ceiling)\n", 100*st.RecurringShare)
+	fmt.Printf("hottest object    %d requests\n", st.MaxObjectRequests)
+	fmt.Printf("top 1%% objects    %.1f%% of requests\n", 100*st.Top1Share)
+	fmt.Printf("top 10%% objects   %.1f%% of requests\n", 100*st.Top10Share)
+	return nil
+}

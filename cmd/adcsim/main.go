@@ -1,0 +1,249 @@
+// Command adcsim runs one distributed-caching simulation and prints a
+// summary report: algorithm, hit rate, hops, per-proxy statistics.
+//
+// Examples:
+//
+//	adcsim                              # ADC, paper-scale tables, 400k requests
+//	adcsim -algo carp -requests 1000000
+//	adcsim -proxies 8 -single 5000 -multiple 5000 -caching 2000
+//	adcsim -runtime tcp                 # every hop over loopback TCP
+//	adcsim -trace trace.bin             # replay a saved trace
+//	adcsim -config experiment.json      # run a JSON-described experiment
+//	adcsim -write-config exp.json       # write the default experiment file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/adc-sim/adc"
+	"github.com/adc-sim/adc/internal/cluster"
+	"github.com/adc-sim/adc/internal/config"
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adcsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adcsim", flag.ContinueOnError)
+	var (
+		algo       = fs.String("algo", "adc", "algorithm: adc, carp or chash")
+		proxies    = fs.Int("proxies", 5, "number of proxy agents")
+		single     = fs.Int("single", 2000, "single-table size (entries)")
+		multiple   = fs.Int("multiple", 2000, "multiple-table size (entries)")
+		caching    = fs.Int("caching", 1000, "caching-table / LRU cache size (entries)")
+		maxHops    = fs.Int("maxhops", 0, "forwarding bound (0 = unbounded)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		runtime    = fs.String("runtime", "sequential", "runtime: sequential, agents or tcp")
+		entry      = fs.String("entry", "random", "entry policy: random, round-robin or fixed")
+		requests   = fs.Int("requests", 400_000, "synthetic workload length")
+		population = fs.Int("population", 1000, "hot object population of the request phases")
+		tracePath  = fs.String("trace", "", "replay a binary trace instead of generating")
+		verbose    = fs.Bool("v", false, "print per-proxy statistics")
+		configPath = fs.String("config", "", "run a JSON experiment file instead of flags")
+		writeCfg   = fs.String("write-config", "", "write the default experiment file and exit")
+		dump       = fs.Int("dump", -1, "after an ADC run, dump the top rows of this proxy's tables (paper Figs. 1–3)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *writeCfg != "" {
+		if err := config.Default().Save(*writeCfg); err != nil {
+			return err
+		}
+		fmt.Printf("wrote default experiment to %s\n", *writeCfg)
+		return nil
+	}
+	if *configPath != "" {
+		return runConfigFile(*configPath, *verbose)
+	}
+	if *dump >= 0 {
+		return runWithDump(dumpOptions{
+			algo: *algo, proxies: *proxies,
+			single: *single, multiple: *multiple, caching: *caching,
+			maxHops: *maxHops, seed: *seed,
+			requests: *requests, population: *population,
+			proxyIdx: *dump,
+		})
+	}
+
+	var src adc.Source
+	if *tracePath != "" {
+		loaded, err := adc.LoadTraceFile(*tracePath)
+		if err != nil {
+			return err
+		}
+		src = loaded
+	} else {
+		gen, err := adc.NewWorkload(adc.WorkloadConfig{
+			Requests:   *requests,
+			Population: *population,
+			Seed:       *seed,
+		})
+		if err != nil {
+			return err
+		}
+		src = gen
+	}
+
+	cfg := adc.Config{
+		Algorithm:     adc.Algorithm(*algo),
+		Proxies:       *proxies,
+		SingleTable:   *single,
+		MultipleTable: *multiple,
+		CachingTable:  *caching,
+		MaxHops:       *maxHops,
+		Seed:          *seed,
+		Entry:         adc.EntryPolicy(*entry),
+		Runtime:       adc.Runtime(*runtime),
+	}
+	res, err := adc.Run(cfg, src)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("algorithm      %s (%d proxies, runtime %s)\n", *algo, *proxies, *runtime)
+	fmt.Printf("tables         single=%d multiple=%d caching=%d\n", *single, *multiple, *caching)
+	fmt.Printf("requests       %d\n", res.Requests)
+	fmt.Printf("hit rate       %.4f (%d hits, %d from origin)\n", res.HitRate, res.Hits, res.OriginResolved)
+	fmt.Printf("hops/request   %.3f\n", res.Hops)
+	fmt.Printf("path length    %.3f proxies\n", res.PathLen)
+	fmt.Printf("elapsed        %v (%.0f req/s)\n",
+		res.Elapsed.Round(1e6), float64(res.Requests)/res.Elapsed.Seconds())
+
+	if *verbose {
+		if err := printProxyStats(res.ProxyStats); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func printProxyStats(stats []adc.ProxyStats) error {
+	fmt.Println()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "proxy\trequests\tlocal hits\tfwd learned\tfwd random\tfwd origin\tloops\tcache ins\tcache evict")
+	for i, s := range stats {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			i, s.Requests, s.LocalHits, s.ForwardLearned, s.ForwardRandom,
+			s.ForwardOrigin, s.LoopsDetected, s.CacheInsertions, s.CacheEvictions)
+	}
+	return w.Flush()
+}
+
+type dumpOptions struct {
+	algo                      string
+	proxies                   int
+	single, multiple, caching int
+	maxHops                   int
+	seed                      int64
+	requests, population      int
+	proxyIdx                  int
+}
+
+// runWithDump runs via the internal cluster layer so the proxy's mapping
+// tables can be rendered afterwards, in the layout of the paper's sample
+// figures (Figs. 1–3).
+func runWithDump(o dumpOptions) error {
+	if o.algo != "adc" {
+		return fmt.Errorf("-dump requires the adc algorithm")
+	}
+	if o.proxyIdx >= o.proxies {
+		return fmt.Errorf("-dump proxy %d out of range (0..%d)", o.proxyIdx, o.proxies-1)
+	}
+	gen, err := workload.New(workload.Config{
+		TotalRequests:  o.requests,
+		PopulationSize: o.population,
+		Seed:           o.seed,
+	})
+	if err != nil {
+		return err
+	}
+	ccfg := cluster.Config{
+		Algorithm:  cluster.ADC,
+		NumProxies: o.proxies,
+		Tables: core.Config{
+			SingleSize:   o.single,
+			MultipleSize: o.multiple,
+			CachingSize:  o.caching,
+		},
+		MaxHops: o.maxHops,
+		Seed:    o.seed,
+	}
+	cl, err := cluster.New(ccfg, gen)
+	if err != nil {
+		return err
+	}
+	res, err := cl.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("hit rate %.4f, hops %.3f over %d requests\n\n",
+		res.Summary.HitRate, res.Summary.Hops, res.Summary.Requests)
+
+	p := cl.ADCProxies()[o.proxyIdx]
+	now := p.LocalTime()
+	fmt.Printf("mapping tables of %v at local time %d (top 10 rows each):\n\n", p.ID(), now)
+	tb := p.Tables()
+	if err := core.DumpTable(os.Stdout, "Caching Table", head(tb.Caching().Entries(), 10), now); err != nil {
+		return err
+	}
+	fmt.Println()
+	if err := core.DumpTable(os.Stdout, "Multiple-Table", head(tb.Multiple().Entries(), 10), now); err != nil {
+		return err
+	}
+	fmt.Println()
+	return core.DumpTable(os.Stdout, "Single-Table", head(tb.Single().Entries(), 10), now)
+}
+
+func head(entries []*core.Entry, n int) []*core.Entry {
+	if len(entries) > n {
+		return entries[:n]
+	}
+	return entries
+}
+
+// runConfigFile executes a JSON-described experiment via the internal
+// cluster layer (the config schema maps 1:1 onto it).
+func runConfigFile(path string, verbose bool) error {
+	file, err := config.Load(path)
+	if err != nil {
+		return err
+	}
+	ccfg, wcfg, err := file.Build()
+	if err != nil {
+		return err
+	}
+	gen, err := workload.New(wcfg)
+	if err != nil {
+		return err
+	}
+	res, err := cluster.Run(ccfg, gen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("experiment     %s\n", path)
+	fmt.Printf("algorithm      %s (%d proxies, runtime %s)\n",
+		ccfg.Algorithm, ccfg.NumProxies, ccfg.Runtime)
+	fmt.Printf("requests       %d\n", res.Summary.Requests)
+	fmt.Printf("hit rate       %.4f\n", res.Summary.HitRate)
+	fmt.Printf("hops/request   %.3f\n", res.Summary.Hops)
+	fmt.Printf("elapsed        %v\n", res.Elapsed.Round(1e6))
+	if verbose {
+		stats := make([]adc.ProxyStats, len(res.ProxyStats))
+		for i, s := range res.ProxyStats {
+			stats[i] = adc.ProxyStats(s)
+		}
+		return printProxyStats(stats)
+	}
+	return nil
+}

@@ -1,0 +1,101 @@
+// Command adcsweep runs the paper's parameter-sensitivity study (§V.3):
+// each mapping table swept over the 5k–30k grid (scaled) with the other
+// two held at reference size, reporting hit rate (Fig. 13), hops
+// (Fig. 14) or wall-clock processing time (Fig. 15).
+//
+// Examples:
+//
+//	adcsweep                         # hits + hops sweep at 1/10 scale
+//	adcsweep -metric time            # Fig. 15 on the paper-faithful O(n) tables
+//	adcsweep -scale 1 -metric hits   # full paper scale
+//	adcsweep -csv out.csv            # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"github.com/adc-sim/adc"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "adcsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("adcsweep", flag.ContinueOnError)
+	var (
+		scale   = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
+		seed    = fs.Int64("seed", 1, "random seed")
+		proxies = fs.Int("proxies", 5, "number of proxies")
+		metric  = fs.String("metric", "hits", "metric: hits, hops or time")
+		csvPath = fs.String("csv", "", "also write CSV to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile := adc.Profile{Scale: *scale, Seed: *seed, Proxies: *proxies}
+
+	var (
+		pts []adc.SweepPoint
+		err error
+	)
+	if *metric == "time" {
+		fmt.Println("running Fig. 15 timing sweep on paper-faithful O(n) tables; this is deliberately slow…")
+		pts, err = adc.TimingSweep(profile)
+	} else {
+		pts, err = adc.Sweep(profile)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	switch *metric {
+	case "hits":
+		fmt.Fprintln(w, "table\tsize\thit rate (post-fill)")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%s\t%d\t%.4f\n", pt.Table, pt.Size, pt.HitRate)
+		}
+	case "hops":
+		fmt.Fprintln(w, "table\tsize\thops/request (post-fill)")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%s\t%d\t%.3f\n", pt.Table, pt.Size, pt.Hops)
+		}
+	case "time":
+		fmt.Fprintln(w, "table\tsize\tprocessing time")
+		for _, pt := range pts {
+			fmt.Fprintf(w, "%s\t%d\t%v\n", pt.Table, pt.Size, pt.Elapsed.Round(1e6))
+		}
+	default:
+		return fmt.Errorf("unknown metric %q (want hits, hops or time)", *metric)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // close error checked below
+		fmt.Fprintln(f, "table,size,hit_rate,hops,elapsed_ms")
+		for _, pt := range pts {
+			fmt.Fprintf(f, "%s,%d,%.6f,%.4f,%.1f\n",
+				pt.Table, pt.Size, pt.HitRate, pt.Hops,
+				float64(pt.Elapsed.Microseconds())/1000)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+// Distributed: the same ADC system, but every proxy agent behind its own
+// TCP listener on loopback — each hop is a real socket write of a binary
+// frame. This mirrors the paper's eight-host deployment (§V.1.2) and its
+// observation that the distributed run produces the same results as the
+// single-process one; the example verifies that equivalence live.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/adc-sim/adc"
+)
+
+func main() {
+	mk := func() adc.Source {
+		w, err := adc.NewWorkload(adc.WorkloadConfig{
+			Requests:   50_000,
+			Population: 500,
+			Seed:       99,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return w
+	}
+	cfg := adc.Config{
+		Algorithm:     adc.ADC,
+		Proxies:       8, // the paper's hardware: 8 machines
+		SingleTable:   1_000,
+		MultipleTable: 1_000,
+		CachingTable:  500,
+		Seed:          99,
+	}
+
+	// Run 1: deterministic in-process engine.
+	cfg.Runtime = adc.RuntimeSequential
+	seq, err := adc.Run(cfg, mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential:  hit %.4f  hops %.3f  %8v\n",
+		seq.HitRate, seq.Hops, seq.Elapsed.Round(1e6))
+
+	// Run 2: one goroutine per agent with channel mailboxes.
+	cfg.Runtime = adc.RuntimeAgents
+	agents, err := adc.Run(cfg, mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("agents:      hit %.4f  hops %.3f  %8v\n",
+		agents.HitRate, agents.Hops, agents.Elapsed.Round(1e6))
+
+	// Run 3: every agent behind its own TCP listener.
+	cfg.Runtime = adc.RuntimeTCP
+	tcp, err := adc.Run(cfg, mk())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tcp sockets: hit %.4f  hops %.3f  %8v\n",
+		tcp.HitRate, tcp.Hops, tcp.Elapsed.Round(1e6))
+
+	if seq.Hits != agents.Hits || seq.Hits != tcp.Hits {
+		log.Fatalf("runtimes diverged: %d / %d / %d hits", seq.Hits, agents.Hits, tcp.Hits)
+	}
+	fmt.Println("\nall three runtimes produced identical results, as §V.1.2 reports —")
+	fmt.Println("closed-loop injection makes message order independent of the substrate.")
+}

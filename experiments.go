@@ -1,0 +1,374 @@
+package adc
+
+import (
+	"time"
+
+	"github.com/adc-sim/adc/internal/experiments"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// Profile parameterises an experiment campaign reproducing the paper's
+// evaluation. Scale shrinks the reference setup (3.99 M requests, 5
+// proxies, 20k/20k/10k tables, 10k hot objects) proportionally; 0.1
+// reproduces every curve's shape in seconds.
+type Profile struct {
+	// Scale of the paper's setup; default 0.1, 1.0 = full paper scale.
+	Scale float64
+	// Proxies overrides the array size (default 5).
+	Proxies int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// Entry selects the client entry policy (default random).
+	Entry EntryPolicy
+}
+
+func (p Profile) toInternal() (experiments.Profile, error) {
+	ip := experiments.DefaultProfile()
+	if p.Scale != 0 {
+		ip.Scale = p.Scale
+	}
+	if p.Proxies != 0 {
+		ip.Proxies = p.Proxies
+	}
+	if p.Seed != 0 {
+		ip.Seed = p.Seed
+	}
+	switch p.Entry {
+	case "", EntryRandom:
+	case EntryRoundRobin:
+		ip.EntryPolicy = sim.EntryRoundRobin
+	case EntryFixed:
+		ip.EntryPolicy = sim.EntryFixed
+	}
+	return ip, ip.Validate()
+}
+
+// Comparison is the data behind the paper's Figs. 11 and 12: windowed hit
+// rate and hops over the request stream for ADC and the hashing baseline.
+type Comparison struct {
+	ADC     []Point
+	Hashing []Point
+	CHash   []Point
+
+	ADCHitRate     float64
+	HashingHitRate float64
+	ADCHops        float64
+	HashingHops    float64
+
+	FillEnd   int
+	Phase2End int
+}
+
+// Compare reproduces Figs. 11–12: one ADC run and one hashing run over the
+// same workload. Set includeCHash to add the consistent-hashing baseline.
+func Compare(p Profile, includeCHash bool) (*Comparison, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	cmp, err := experiments.Compare(ip, experiments.CompareOptions{IncludeCHash: includeCHash})
+	if err != nil {
+		return nil, err
+	}
+	out := &Comparison{
+		ADCHitRate:     cmp.ADCSummary.HitRate,
+		HashingHitRate: cmp.HashingSummary.HitRate,
+		ADCHops:        cmp.ADCSummary.Hops,
+		HashingHops:    cmp.HashingSummary.Hops,
+		FillEnd:        cmp.FillEnd,
+		Phase2End:      cmp.Phase2End,
+	}
+	out.ADC = convertPoints(cmp.ADC)
+	out.Hashing = convertPoints(cmp.Hashing)
+	out.CHash = convertPoints(cmp.CHash)
+	return out, nil
+}
+
+func convertPoints(pts []metrics.Point) []Point {
+	if len(pts) == 0 {
+		return nil
+	}
+	out := make([]Point, len(pts))
+	for i, p := range pts {
+		out[i] = Point(p)
+	}
+	return out
+}
+
+// SweepPoint is one run of the table-size parameter study (Figs. 13–15).
+type SweepPoint struct {
+	// Table is "single", "multiple" or "caching".
+	Table string
+	// Size is the swept table's capacity.
+	Size int
+	// HitRate is the post-fill hit rate (the paper's Fig. 13 metric).
+	HitRate float64
+	// Hops is the post-fill mean hops per request (Fig. 14).
+	Hops float64
+	// Elapsed is the run's wall-clock duration (Fig. 15).
+	Elapsed time.Duration
+}
+
+// Sweep reproduces Figs. 13–14: each mapping table swept over the paper's
+// 5k–30k grid (scaled) with the other two at reference size.
+func Sweep(p Profile) ([]SweepPoint, error) {
+	return sweep(p, experiments.SweepOptions{})
+}
+
+// TimingSweep reproduces Fig. 15: the same sweep on the paper-faithful
+// O(n) data structures, measuring wall-clock time. It uses a shorter trace
+// (the paper's structures are deliberately slow).
+func TimingSweep(p Profile) ([]SweepPoint, error) {
+	return sweep(p, experiments.SweepOptions{
+		PaperFaithfulTiming: true,
+		Requests:            1_000_000,
+	})
+}
+
+func sweep(p Profile, opts experiments.SweepOptions) ([]SweepPoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.Sweep(ip, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = SweepPoint{
+			Table:   string(pt.Table),
+			Size:    pt.Size,
+			HitRate: pt.HitRate,
+			Hops:    pt.Hops,
+			Elapsed: pt.Elapsed,
+		}
+	}
+	return out, nil
+}
+
+// MaxHopsPoint is one run of the forwarding-bound study (an extension: the
+// paper exposes the parameter but never sweeps it).
+type MaxHopsPoint struct {
+	MaxHops int
+	HitRate float64
+	Hops    float64
+}
+
+// MaxHopsSweep measures hit rate and cost against the forwarding bound;
+// bound 0 is the paper's unbounded setting.
+func MaxHopsSweep(p Profile, bounds []int) ([]MaxHopsPoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.MaxHopsSweep(ip, bounds)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]MaxHopsPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = MaxHopsPoint(pt)
+	}
+	return out, nil
+}
+
+// Ablation compares full ADC against one disabled mechanism; hit rates are
+// post-fill.
+type Ablation struct {
+	Name        string
+	Full        float64
+	Ablated     float64
+	FullHops    float64
+	AblatedHops float64
+}
+
+// SelectiveCachingAblation quantifies §III.4's claim that selective
+// caching beats a cache-everything LRU table.
+func SelectiveCachingAblation(p Profile) (*Ablation, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.SelectiveCachingAblation(ip)
+	if err != nil {
+		return nil, err
+	}
+	a := Ablation(*r)
+	return &a, nil
+}
+
+// AgingAblation quantifies the effect of the Fig. 4 aging rule.
+func AgingAblation(p Profile) (*Ablation, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.AgingAblation(ip)
+	if err != nil {
+		return nil, err
+	}
+	a := Ablation(*r)
+	return &a, nil
+}
+
+// PreLearnedResult is the §V.2.1 future-work experiment: the identical
+// trace replayed twice through one uninterrupted cluster.
+type PreLearnedResult struct {
+	// FirstPass and SecondPass are each replay's hit rate; the second
+	// runs against fully learned ("pre-learned") mapping tables.
+	FirstPass  float64
+	SecondPass float64
+	FirstHops  float64
+	SecondHops float64
+}
+
+// PreLearned quantifies how much of ADC's Fig. 11 lag is pure learning:
+// the second pass of the same trace starts warm and must not lag.
+func PreLearned(p Profile) (*PreLearnedResult, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.PreLearned(ip)
+	if err != nil {
+		return nil, err
+	}
+	return &PreLearnedResult{
+		FirstPass:  r.FirstPass,
+		SecondPass: r.SecondPass,
+		FirstHops:  r.FirstHops,
+		SecondHops: r.SecondHops,
+	}, nil
+}
+
+// ProxyCountPoint is one run of the array-size study: total system cache
+// capacity held constant while the proxy count varies.
+type ProxyCountPoint struct {
+	Proxies int
+	HitRate float64
+	Hops    float64
+}
+
+// ProxyCountSweep measures the cost of distribution: more, smaller
+// proxies mean longer searches for the same total capacity.
+func ProxyCountSweep(p Profile, counts []int) ([]ProxyCountPoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.ProxyCountSweep(ip, counts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ProxyCountPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = ProxyCountPoint(pt)
+	}
+	return out, nil
+}
+
+// BaselinePoint is one scheme's result in the all-baselines comparison.
+type BaselinePoint struct {
+	// Algorithm is "adc", "carp", "chash", "hier" or "coord".
+	Algorithm string
+	// HitRate and Hops are post-fill rates.
+	HitRate float64
+	Hops    float64
+	// BottleneckShare is the busiest node's share of all proxy-side
+	// requests (≈1/N decentralised, ≈0.5 for the coordinator).
+	BottleneckShare float64
+}
+
+// Baselines compares every implemented scheme over the same workload:
+// ADC, the CARP hashing baseline, consistent hashing, the hierarchical
+// tree, and the central coordinator of the authors' earlier work.
+func Baselines(p Profile) ([]BaselinePoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.Baselines(ip)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BaselinePoint, len(pts))
+	for i, pt := range pts {
+		out[i] = BaselinePoint{
+			Algorithm:       pt.Algorithm.String(),
+			HitRate:         pt.HitRate,
+			Hops:            pt.Hops,
+			BottleneckShare: pt.BottleneckShare,
+		}
+	}
+	return out, nil
+}
+
+// ResponseResult compares mean virtual-time response between ADC and the
+// hashing baseline under the default WAN latency model (§V.2.2's
+// qualitative claim, quantified).
+type ResponseResult struct {
+	// ADCMean and HashingMean are mean response times in virtual ticks
+	// (microseconds under the default model).
+	ADCMean     float64
+	HashingMean float64
+	ADCHit      float64
+	HashingHit  float64
+}
+
+// ResponseTime runs both algorithms on the virtual-time engine.
+// openLoopInterval > 0 switches to open-loop injection at that mean
+// inter-arrival time (Poisson gaps).
+func ResponseTime(p Profile, openLoopInterval int64) (*ResponseResult, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.ResponseTime(ip, experiments.ResponseOptions{
+		OpenLoopInterval: openLoopInterval,
+		Poisson:          openLoopInterval > 0,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ResponseResult{
+		ADCMean:     r.ADCMean,
+		HashingMean: r.HashingMean,
+		ADCHit:      r.ADCHit,
+		HashingHit:  r.HashingHit,
+	}, nil
+}
+
+// BackendPoint is one run of the data-structure study (§V.3.3's proposed
+// speed-up, quantified).
+type BackendPoint struct {
+	// Backend is "list" (paper-faithful), "slice" or "skiplist".
+	Backend string
+	// Elapsed is the wall-clock runtime of the identical simulation.
+	Elapsed time.Duration
+	// HitRate confirms behavioural equivalence across backends.
+	HitRate float64
+}
+
+// BackendComparison times one identical simulation on each ordered-table
+// backend.
+func BackendComparison(p Profile) ([]BackendPoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.BackendComparison(ip, 1_000_000)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BackendPoint, len(pts))
+	for i, pt := range pts {
+		name := pt.Backend.String()
+		if pt.SingleScan {
+			name += "+scan"
+		}
+		out[i] = BackendPoint{Backend: name, Elapsed: pt.Elapsed, HitRate: pt.HitRate}
+	}
+	return out, nil
+}

@@ -1,0 +1,3 @@
+module github.com/adc-sim/adc
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package agent is the concurrent runtime: every node (proxy, client,
+// origin) runs as its own goroutine with a mailbox channel, communicating
+// purely by message passing — the Go translation of the paper's Carolina
+// multi-agent platform where "each running agent implements one proxy"
+// (§V.1) and of its distributed deployment where "each host runs exactly
+// one ADC-agent" (§V.1.2).
+//
+// Under closed-loop injection the runtime is confluent: messages of one
+// request chain are causally ordered, so every node observes the same
+// sequence of events as under the sequential engine and the metrics are
+// bit-identical (asserted by the integration tests, DESIGN.md §7.5).
+package agent
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// DefaultMailbox is the default per-node mailbox capacity. Closed-loop
+// clients keep at most one message in flight per client, so any positive
+// capacity avoids blocking; a roomy default keeps open-loop experiments
+// from stalling senders.
+const DefaultMailbox = 1024
+
+// Runtime hosts a set of nodes, one goroutine each.
+type Runtime struct {
+	mailbox int
+	nodes   map[ids.NodeID]sim.Node
+	boxes   map[ids.NodeID]chan msg.Message
+	wg      sync.WaitGroup
+}
+
+// New returns an empty runtime. mailbox <= 0 selects DefaultMailbox.
+func New(mailbox int) *Runtime {
+	if mailbox <= 0 {
+		mailbox = DefaultMailbox
+	}
+	return &Runtime{
+		mailbox: mailbox,
+		nodes:   make(map[ids.NodeID]sim.Node),
+		boxes:   make(map[ids.NodeID]chan msg.Message),
+	}
+}
+
+// Register adds a node before Run.
+func (r *Runtime) Register(n sim.Node) error {
+	if _, dup := r.nodes[n.ID()]; dup {
+		return fmt.Errorf("agent: duplicate node %v", n.ID())
+	}
+	r.nodes[n.ID()] = n
+	r.boxes[n.ID()] = make(chan msg.Message, r.mailbox)
+	return nil
+}
+
+// sender is the per-node sim.Context. Hop counting happens on send, same
+// as the sequential engine, so accounting is identical.
+type sender struct{ r *Runtime }
+
+var _ sim.Context = sender{}
+
+func (s sender) Send(m msg.Message) {
+	sim.CountHop(m)
+	box, ok := s.r.boxes[m.Dest()]
+	if !ok {
+		// Unroutable messages indicate a wiring bug; the sequential
+		// engine turns them into an error, here we must not block a
+		// node goroutine, so the message is dropped. The closed
+		// loop then stalls and the bug surfaces in tests
+		// immediately rather than silently corrupting results.
+		return
+	}
+	box <- m
+}
+
+// Run starts every node goroutine, fires the Starters, then blocks until
+// done is closed. It stops all nodes and waits for them to exit before
+// returning, so all node state is safe to read afterwards.
+//
+// The caller owns the termination condition: wire the clients' OnDone
+// callbacks to close done once all traffic has drained (see
+// internal/cluster). Stopping with messages still in flight would lose
+// them, which closed-loop injection rules out.
+func (r *Runtime) Run(done <-chan struct{}) {
+	stop := make(chan struct{})
+	for id, n := range r.nodes {
+		r.wg.Add(1)
+		go func(n sim.Node, box chan msg.Message) {
+			defer r.wg.Done()
+			ctx := sender{r: r}
+			for {
+				select {
+				case m := <-box:
+					n.Handle(ctx, m)
+				case <-stop:
+					// Drain anything that raced with stop so
+					// senders can never block.
+					for {
+						select {
+						case m := <-box:
+							n.Handle(ctx, m)
+						default:
+							return
+						}
+					}
+				}
+			}
+		}(n, r.boxes[id])
+	}
+
+	// Inject initial traffic from a dedicated context, mirroring
+	// sim.Engine.Run. Starters run outside any node goroutine.
+	ctx := sender{r: r}
+	for _, n := range r.nodes {
+		if s, ok := n.(sim.Starter); ok {
+			s.Start(ctx)
+		}
+	}
+
+	<-done
+	close(stop)
+	r.wg.Wait()
+}

@@ -1,0 +1,97 @@
+package agent
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+type echoNode struct {
+	id ids.NodeID
+
+	mu   sync.Mutex
+	seen int
+}
+
+func (n *echoNode) ID() ids.NodeID { return n.id }
+func (n *echoNode) Handle(ctx sim.Context, m msg.Message) {
+	req, ok := m.(*msg.Request)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	n.seen++
+	n.mu.Unlock()
+	rep := msg.ReplyTo(req)
+	rep.Resolver = n.id
+	rep.To = req.Client
+	ctx.Send(rep)
+}
+
+func TestDuplicateRegistration(t *testing.T) {
+	rt := New(0)
+	if err := rt.Register(&echoNode{id: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(&echoNode{id: 0}); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+}
+
+func TestClosedLoopDrivesToCompletion(t *testing.T) {
+	rt := New(0)
+	node := &echoNode{id: 0}
+	if err := rt.Register(node); err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]ids.ObjectID, 200)
+	for i := range objs {
+		objs[i] = ids.ObjectID(i)
+	}
+	col := metrics.NewCollector(metrics.WithSampleEvery(0))
+	done := make(chan struct{})
+	cl, err := sim.NewClient(sim.ClientConfig{
+		Source:    trace.NewSliceSource(objs),
+		Proxies:   []ids.NodeID{0},
+		Collector: col,
+		OnDone:    func() { close(done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Register(cl); err != nil {
+		t.Fatal(err)
+	}
+	rt.Run(done)
+	if col.Requests() != 200 {
+		t.Errorf("recorded %d requests, want 200", col.Requests())
+	}
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	if node.seen != 200 {
+		t.Errorf("node saw %d requests, want 200", node.seen)
+	}
+}
+
+func TestUnroutableMessageDoesNotBlock(t *testing.T) {
+	rt := New(0)
+	// A node that fires a message into the void on start.
+	stray := &strayStarter{id: 0}
+	if err := rt.Register(stray); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	close(done)
+	rt.Run(done) // must return, not deadlock
+}
+
+type strayStarter struct{ id ids.NodeID }
+
+func (s *strayStarter) ID() ids.NodeID                  { return s.id }
+func (s *strayStarter) Handle(sim.Context, msg.Message) {}
+func (s *strayStarter) Start(ctx sim.Context)           { ctx.Send(&msg.Request{To: 99}) }

@@ -1,0 +1,140 @@
+package carp
+
+import (
+	"fmt"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/lru"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// Proxy is one member of the CARP baseline array, following §V.1.1 of the
+// paper exactly:
+//
+//	"A proxy in the CARP algorithm tries to resolve incoming requests by
+//	means of its locally cached data and forwards the unresolved request
+//	in accordance to a globally known hashing function ... If the second
+//	proxy cannot resolve the forwarded request, the request will be
+//	assigned to the origin server. After the request got resolved the
+//	second proxy will store the received data replacing existing
+//	information based on the LRU algorithm and forward the request
+//	directly to the requesting client, bypassing the first proxy."
+type Proxy struct {
+	id     ids.NodeID
+	hasher Assigner
+	cache  *lru.Cache[ids.ObjectID, struct{}]
+	stats  metrics.ProxyStats
+}
+
+var _ sim.Node = (*Proxy)(nil)
+
+// Assigner is the globally known object→proxy mapping. Hasher (CARP's
+// highest-random-weight hash) is the paper's baseline; internal/chash's
+// consistent-hashing ring is the extension comparator. Every proxy in an
+// array must hold an equivalent Assigner.
+type Assigner interface {
+	Assign(obj ids.ObjectID) ids.NodeID
+}
+
+var _ Assigner = (*Hasher)(nil)
+
+// Config assembles one CARP proxy.
+type Config struct {
+	// ID is the proxy's node ID.
+	ID ids.NodeID
+	// Hasher is the globally known hash (identical across proxies).
+	Hasher Assigner
+	// CacheSize bounds the local LRU cache, in objects — comparable to
+	// the ADC caching-table size.
+	CacheSize int
+}
+
+// New builds a CARP proxy.
+func New(cfg Config) (*Proxy, error) {
+	if !cfg.ID.IsProxy() {
+		return nil, fmt.Errorf("carp: %v is not a proxy ID", cfg.ID)
+	}
+	if cfg.Hasher == nil {
+		return nil, fmt.Errorf("carp: proxy %v needs a hasher", cfg.ID)
+	}
+	if cfg.CacheSize <= 0 {
+		return nil, fmt.Errorf("carp: cache size must be positive, got %d", cfg.CacheSize)
+	}
+	return &Proxy{
+		id:     cfg.ID,
+		hasher: cfg.Hasher,
+		cache:  lru.New[ids.ObjectID, struct{}](cfg.CacheSize),
+	}, nil
+}
+
+// ID implements sim.Node.
+func (p *Proxy) ID() ids.NodeID { return p.id }
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *Proxy) Stats() metrics.ProxyStats { return p.stats }
+
+// CacheLen returns the number of cached objects.
+func (p *Proxy) CacheLen() int { return p.cache.Len() }
+
+// Handle implements sim.Node.
+func (p *Proxy) Handle(ctx sim.Context, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.Request:
+		p.receiveRequest(ctx, t)
+	case *msg.Reply:
+		p.receiveReply(ctx, t)
+	}
+}
+
+func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
+	p.stats.Requests++
+
+	// Local cache first.
+	if _, ok := p.cache.Get(req.Object); ok {
+		p.stats.LocalHits++
+		rep := msg.ReplyTo(req)
+		rep.Resolver = p.id
+		rep.Cached = true
+		// Reply directly to the client, bypassing any first proxy.
+		rep.Path = nil
+		rep.To = req.Client
+		ctx.Send(rep)
+		return
+	}
+
+	assigned := p.hasher.Assign(req.Object)
+	if assigned != p.id {
+		// First-hit proxy: hand over to the assigned proxy. The
+		// path stays empty because the reply will bypass us.
+		p.stats.ForwardLearned++
+		req.Sender = p.id
+		req.To = assigned
+		ctx.Send(req)
+		return
+	}
+
+	// We are the assigned proxy and missed: fetch from the origin. The
+	// path records us so the reply comes back here for caching.
+	p.stats.ForwardOrigin++
+	req.Sender = p.id
+	req.Path = append(req.Path, p.id)
+	req.To = ids.Origin
+	ctx.Send(req)
+}
+
+func (p *Proxy) receiveReply(ctx sim.Context, rep *msg.Reply) {
+	p.stats.RepliesSeen++
+	// Store the received data with LRU replacement, then forward
+	// directly to the client.
+	if p.cache.Put(rep.Object, struct{}{}) {
+		p.stats.CacheEvictions++
+	}
+	p.stats.CacheInsertions++
+	rep.Resolver = p.id
+	rep.Cached = true
+	rep.Path = nil
+	rep.To = rep.Client
+	ctx.Send(rep)
+}

@@ -1,0 +1,615 @@
+// Package cluster wires complete proxy systems — N proxy agents, an origin
+// server and closed-loop client drivers — and runs a workload against them
+// on one of the interchangeable runtimes (sequential engine, goroutine
+// agents, TCP transport). It is the programmatic equivalent of the paper's
+// experimental testbed (§V.1) and the layer the public API and the
+// benchmark harness sit on.
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/adc-sim/adc/internal/agent"
+	"github.com/adc-sim/adc/internal/carp"
+	"github.com/adc-sim/adc/internal/chash"
+	"github.com/adc-sim/adc/internal/coordinator"
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/hierarchy"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/proxy"
+	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/trace"
+	"github.com/adc-sim/adc/internal/transport"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// Algorithm selects the distributed-caching scheme under test.
+type Algorithm int
+
+// Supported algorithms.
+const (
+	// ADC is the paper's Adaptive Distributed Caching.
+	ADC Algorithm = iota + 1
+	// CARP is the paper's hashing baseline (§V.1.1).
+	CARP
+	// CHash is the consistent-hashing extension baseline (ref [13]).
+	CHash
+	// Hierarchical is the classic parent/child caching tree baseline
+	// (refs [20][21][27]): N leaves sharing one root parent.
+	Hierarchical
+	// Coordinator is the authors' first-generation central-coordinator
+	// baseline (§II.1, ref [26]): one dispatcher in front of N caches.
+	Coordinator
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case ADC:
+		return "adc"
+	case CARP:
+		return "carp"
+	case CHash:
+		return "chash"
+	case Hierarchical:
+		return "hier"
+	case Coordinator:
+		return "coord"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm converts a CLI string to an Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch s {
+	case "adc":
+		return ADC, nil
+	case "carp", "hash", "hashing":
+		return CARP, nil
+	case "chash", "consistent":
+		return CHash, nil
+	case "hier", "hierarchy", "hierarchical":
+		return Hierarchical, nil
+	case "coord", "coordinator":
+		return Coordinator, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown algorithm %q (want adc, carp, chash, hier or coord)", s)
+	}
+}
+
+// Runtime selects the execution substrate.
+type Runtime int
+
+// Supported runtimes.
+const (
+	// RuntimeSequential is the deterministic single-threaded engine.
+	RuntimeSequential Runtime = iota
+	// RuntimeAgents runs one goroutine per node (internal/agent).
+	RuntimeAgents
+	// RuntimeTCP runs every node behind its own loopback TCP listener
+	// with binary-framed messages (internal/transport).
+	RuntimeTCP
+	// RuntimeVirtualTime is the discrete-event engine: deterministic
+	// like RuntimeSequential, but every transfer is delayed by a
+	// latency model, yielding response-time metrics and supporting
+	// open-loop (fixed request rate) injection.
+	RuntimeVirtualTime
+)
+
+// String implements fmt.Stringer.
+func (r Runtime) String() string {
+	switch r {
+	case RuntimeSequential:
+		return "sequential"
+	case RuntimeAgents:
+		return "agents"
+	case RuntimeTCP:
+		return "tcp"
+	case RuntimeVirtualTime:
+		return "vtime"
+	default:
+		return fmt.Sprintf("Runtime(%d)", int(r))
+	}
+}
+
+// Config describes one simulation run. The zero value is not runnable; use
+// the With* helpers in the public package or fill the fields directly.
+type Config struct {
+	// Algorithm selects ADC, CARP or CHash.
+	Algorithm Algorithm
+
+	// NumProxies is the array size (the paper runs 5, §V.2).
+	NumProxies int
+
+	// Tables sizes the ADC mapping tables. For CARP/CHash only
+	// CachingSize matters (the LRU cache size); the other fields are
+	// ignored so one Config can drive a fair comparison.
+	Tables core.Config
+
+	// MaxHops bounds ADC request forwarding (0 = unbounded, the
+	// paper's setting).
+	MaxHops int
+
+	// Seed makes the run deterministic.
+	Seed int64
+
+	// EntryPolicy selects how clients pick their first proxy.
+	EntryPolicy sim.EntryPolicy
+
+	// Clients is the number of closed-loop drivers (default 1; the
+	// trace is split round-robin between them).
+	Clients int
+
+	// Window is the moving-average window (default 5000, §V.2.1).
+	Window int
+
+	// SampleEvery records one time-series point per n requests
+	// (0 disables series collection; summaries are always available).
+	SampleEvery uint64
+
+	// Runtime selects sequential, concurrent or virtual-time execution.
+	Runtime Runtime
+
+	// Latency is the virtual-time latency model; the zero value selects
+	// sim.DefaultLatencyModel(). Only used by RuntimeVirtualTime.
+	Latency sim.LatencyModel
+
+	// OpenLoopInterval switches clients to open-loop injection with
+	// this mean inter-arrival time in virtual ticks (0 = closed loop).
+	// Requires RuntimeVirtualTime.
+	OpenLoopInterval int64
+
+	// Poisson draws exponential inter-arrival times in open-loop mode.
+	Poisson bool
+
+	// JoinProxyAt grows the cluster by one fresh ADC proxy when the
+	// request stream crosses each index (strictly increasing). Requires
+	// ADC, the sequential runtime and a single client (see churn.go).
+	JoinProxyAt []uint64
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	switch c.Algorithm {
+	case ADC, CARP, CHash, Hierarchical, Coordinator:
+	default:
+		return fmt.Errorf("cluster: invalid algorithm %d", int(c.Algorithm))
+	}
+	if c.NumProxies <= 0 {
+		return fmt.Errorf("cluster: NumProxies must be positive, got %d", c.NumProxies)
+	}
+	if c.Clients < 0 {
+		return fmt.Errorf("cluster: Clients must be non-negative, got %d", c.Clients)
+	}
+	if c.MaxHops < 0 {
+		return fmt.Errorf("cluster: MaxHops must be non-negative, got %d", c.MaxHops)
+	}
+	if c.Algorithm == ADC {
+		if err := c.Tables.Validate(); err != nil {
+			return err
+		}
+	} else if c.Tables.CachingSize <= 0 {
+		return fmt.Errorf("cluster: CachingSize must be positive, got %d", c.Tables.CachingSize)
+	}
+	if c.OpenLoopInterval < 0 {
+		return fmt.Errorf("cluster: OpenLoopInterval must be non-negative, got %d", c.OpenLoopInterval)
+	}
+	if c.OpenLoopInterval > 0 && c.Runtime != RuntimeVirtualTime {
+		return fmt.Errorf("cluster: open-loop injection requires the virtual-time runtime")
+	}
+	return c.validateChurn()
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Summary aggregates all clients.
+	Summary metrics.Summary
+	// Series is client 0's time series (empty if SampleEvery == 0).
+	Series []metrics.Point
+	// ProxyStats holds one entry per proxy, indexed by proxy ID.
+	ProxyStats []metrics.ProxyStats
+	// OriginResolved counts requests the origin server answered.
+	OriginResolved uint64
+	// Algorithm echoes the scheme that produced the result.
+	Algorithm Algorithm
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Driver is the client-side interface the cluster works against; both the
+// closed-loop sim.Client and the open-loop sim.OpenLoopClient satisfy it.
+type Driver interface {
+	sim.Node
+	Collector() *metrics.Collector
+	Done() bool
+	SetOnDone(fn func())
+}
+
+var (
+	_ Driver = (*sim.Client)(nil)
+	_ Driver = (*sim.OpenLoopClient)(nil)
+)
+
+// Cluster is a fully wired proxy system ready to run once.
+type Cluster struct {
+	cfg     Config
+	nodes   []sim.Node
+	clients []Driver
+	origin  *sim.Origin
+
+	adcProxies   []*proxy.ADC
+	carpProxies  []*carp.Proxy
+	hierProxies  []*hierarchy.Proxy
+	coordNode    *coordinator.Coordinator
+	coordWorkers []*coordinator.Worker
+
+	// churn intercepts the request stream to apply proxy joins.
+	churn *churnSource
+}
+
+// New builds the cluster for cfg, with src as the request stream.
+func New(cfg Config, src workload.Source) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if src == nil {
+		return nil, fmt.Errorf("cluster: workload source must not be nil")
+	}
+	if cfg.Clients == 0 {
+		cfg.Clients = 1
+	}
+	if cfg.Window == 0 {
+		cfg.Window = metrics.DefaultWindow
+	}
+
+	c := &Cluster{cfg: cfg}
+
+	proxyIDs := make([]ids.NodeID, cfg.NumProxies)
+	for i := range proxyIDs {
+		proxyIDs[i] = ids.NodeID(i)
+	}
+	// entryIDs is what clients address; most schemes accept requests on
+	// any proxy, the coordinator scheme funnels everything through the
+	// dispatcher.
+	entryIDs := proxyIDs
+
+	switch cfg.Algorithm {
+	case ADC:
+		for _, id := range proxyIDs {
+			p, err := proxy.New(proxy.Config{
+				ID:     id,
+				Peers:  proxyIDs,
+				Tables: cfg.Tables,
+				Seed:   cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.adcProxies = append(c.adcProxies, p)
+			c.nodes = append(c.nodes, p)
+		}
+	case CARP, CHash:
+		var assigner carp.Assigner
+		if cfg.Algorithm == CARP {
+			assigner = carp.NewHasher(proxyIDs)
+		} else {
+			ring, err := chash.NewRing(proxyIDs, 0)
+			if err != nil {
+				return nil, err
+			}
+			assigner = ring
+		}
+		for _, id := range proxyIDs {
+			p, err := carp.New(carp.Config{
+				ID:        id,
+				Hasher:    assigner,
+				CacheSize: cfg.Tables.CachingSize,
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.carpProxies = append(c.carpProxies, p)
+			c.nodes = append(c.nodes, p)
+		}
+	case Hierarchical:
+		rootID := ids.NodeID(cfg.NumProxies)
+		for _, id := range proxyIDs {
+			p, err := hierarchy.New(hierarchy.Config{
+				ID:        id,
+				Role:      hierarchy.Leaf,
+				Parent:    rootID,
+				CacheSize: cfg.Tables.CachingSize,
+			})
+			if err != nil {
+				return nil, err
+			}
+			c.hierProxies = append(c.hierProxies, p)
+			c.nodes = append(c.nodes, p)
+		}
+		root, err := hierarchy.New(hierarchy.Config{
+			ID:        rootID,
+			Role:      hierarchy.Root,
+			CacheSize: cfg.Tables.CachingSize,
+		})
+		if err != nil {
+			return nil, err
+		}
+		c.hierProxies = append(c.hierProxies, root)
+		c.nodes = append(c.nodes, root)
+	case Coordinator:
+		coordID := ids.NodeID(cfg.NumProxies)
+		for _, id := range proxyIDs {
+			w, err := coordinator.NewWorker(id, cfg.Tables.CachingSize)
+			if err != nil {
+				return nil, err
+			}
+			c.coordWorkers = append(c.coordWorkers, w)
+			c.nodes = append(c.nodes, w)
+		}
+		co, err := coordinator.NewCoordinator(coordID, proxyIDs)
+		if err != nil {
+			return nil, err
+		}
+		c.coordNode = co
+		c.nodes = append(c.nodes, co)
+		entryIDs = []ids.NodeID{coordID}
+	}
+
+	c.origin = sim.NewOrigin()
+	c.nodes = append(c.nodes, c.origin)
+
+	if len(cfg.JoinProxyAt) > 0 {
+		c.churn = &churnSource{inner: src, atReqs: cfg.JoinProxyAt}
+		src = c.churn
+	}
+
+	sources, err := splitSource(src, cfg.Clients)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range sources {
+		collector := metrics.NewCollector(
+			metrics.WithWindow(cfg.Window),
+			metrics.WithSampleEvery(cfg.SampleEvery),
+		)
+		var (
+			cl  Driver
+			err error
+		)
+		if cfg.OpenLoopInterval > 0 {
+			cl, err = sim.NewOpenLoopClient(sim.OpenLoopConfig{
+				Index:         i,
+				Source:        s,
+				Proxies:       entryIDs,
+				Policy:        cfg.EntryPolicy,
+				Seed:          cfg.Seed + int64(i)*104729,
+				Collector:     collector,
+				MaxHops:       cfg.MaxHops,
+				IntervalTicks: cfg.OpenLoopInterval,
+				Poisson:       cfg.Poisson,
+			})
+		} else {
+			cl, err = sim.NewClient(sim.ClientConfig{
+				Index:     i,
+				Source:    s,
+				Proxies:   entryIDs,
+				Policy:    cfg.EntryPolicy,
+				Seed:      cfg.Seed + int64(i)*104729,
+				Collector: collector,
+				MaxHops:   cfg.MaxHops,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		c.clients = append(c.clients, cl)
+		c.nodes = append(c.nodes, cl)
+	}
+	return c, nil
+}
+
+// splitSource partitions src round-robin into n streams. n == 1 passes the
+// source through untouched (streaming); larger n drains it into memory.
+func splitSource(src workload.Source, n int) ([]workload.Source, error) {
+	if n == 1 {
+		return []workload.Source{src}, nil
+	}
+	all := trace.Drain(src)
+	parts := make([][]ids.ObjectID, n)
+	for i, obj := range all {
+		parts[i%n] = append(parts[i%n], obj)
+	}
+	out := make([]workload.Source, n)
+	for i, p := range parts {
+		out[i] = trace.NewSliceSource(p)
+	}
+	return out, nil
+}
+
+// ADCProxies exposes the ADC agents (nil for hashing runs).
+func (c *Cluster) ADCProxies() []*proxy.ADC { return c.adcProxies }
+
+// CARPProxies exposes the hashing agents (nil for ADC runs).
+func (c *Cluster) CARPProxies() []*carp.Proxy { return c.carpProxies }
+
+// HierarchyProxies exposes the tree nodes (leaves then root; nil unless
+// the algorithm is Hierarchical).
+func (c *Cluster) HierarchyProxies() []*hierarchy.Proxy { return c.hierProxies }
+
+// CoordinatorNodes exposes the dispatcher and its workers (nil unless the
+// algorithm is Coordinator).
+func (c *Cluster) CoordinatorNodes() (*coordinator.Coordinator, []*coordinator.Worker) {
+	return c.coordNode, c.coordWorkers
+}
+
+// Origin exposes the origin server node.
+func (c *Cluster) Origin() *sim.Origin { return c.origin }
+
+// Clients exposes the client drivers.
+func (c *Cluster) Clients() []Driver { return c.clients }
+
+// Run executes the workload to completion and returns the merged result.
+// A cluster is single-shot: build a fresh one per run.
+func (c *Cluster) Run() (*Result, error) {
+	start := time.Now()
+	switch c.cfg.Runtime {
+	case RuntimeSequential:
+		eng := sim.NewEngine()
+		for _, n := range c.nodes {
+			if err := eng.Register(n); err != nil {
+				return nil, err
+			}
+		}
+		if c.churn != nil {
+			c.churn.onJoin = func() error { return c.addProxy(eng) }
+		}
+		if err := eng.Run(); err != nil {
+			return nil, err
+		}
+		if c.churn != nil && c.churn.err != nil {
+			return nil, c.churn.err
+		}
+	case RuntimeVirtualTime:
+		latency := c.cfg.Latency
+		if latency == (sim.LatencyModel{}) {
+			latency = sim.DefaultLatencyModel()
+		}
+		eng := sim.NewVEngine(latency)
+		for _, n := range c.nodes {
+			if err := eng.Register(n); err != nil {
+				return nil, err
+			}
+		}
+		if err := eng.Run(); err != nil {
+			return nil, err
+		}
+	case RuntimeAgents, RuntimeTCP:
+		if err := c.runConcurrent(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown runtime %d", int(c.cfg.Runtime))
+	}
+	elapsed := time.Since(start)
+
+	for _, cl := range c.clients {
+		if !cl.Done() {
+			return nil, fmt.Errorf("cluster: client %v did not finish its trace", cl.ID())
+		}
+	}
+	return c.collect(elapsed), nil
+}
+
+// concurrentRuntime is the shared shape of the goroutine and TCP runtimes:
+// register nodes, then run until the completion signal.
+type concurrentRuntime interface {
+	Register(n sim.Node) error
+	Run(done <-chan struct{})
+}
+
+// tcpRuntime adapts transport.Network's error-returning Run.
+type tcpRuntime struct{ nw *transport.Network }
+
+func (r tcpRuntime) Register(n sim.Node) error { return r.nw.Register(n) }
+func (r tcpRuntime) Run(done <-chan struct{}) {
+	// Run only errors on double-start, which this adapter precludes.
+	_ = r.nw.Run(done)
+}
+
+// runConcurrent executes on a concurrent runtime, terminating when every
+// client has consumed its trace.
+func (c *Cluster) runConcurrent() error {
+	var rt concurrentRuntime
+	if c.cfg.Runtime == RuntimeTCP {
+		rt = tcpRuntime{nw: transport.NewNetwork()}
+	} else {
+		rt = agent.New(0)
+	}
+
+	// Completion signalling: all clients done → close(done).
+	done := make(chan struct{})
+	var once sync.Once
+	remaining := int64(len(c.clients))
+	var mu sync.Mutex
+
+	for _, n := range c.nodes {
+		if err := rt.Register(n); err != nil {
+			return err
+		}
+	}
+	for _, cl := range c.clients {
+		cl.SetOnDone(func() {
+			mu.Lock()
+			remaining--
+			last := remaining == 0
+			mu.Unlock()
+			if last {
+				once.Do(func() { close(done) })
+			}
+		})
+	}
+	rt.Run(done)
+	return nil
+}
+
+func (c *Cluster) collect(elapsed time.Duration) *Result {
+	res := &Result{
+		Algorithm: c.cfg.Algorithm,
+		Elapsed:   elapsed,
+	}
+	var merged metrics.Summary
+	for i, cl := range c.clients {
+		s := cl.Collector().Summary()
+		merged.Requests += s.Requests
+		merged.Hits += s.Hits
+		// Hops, PathLen and MeanResponse re-weight below.
+		merged.Hops += s.Hops * float64(s.Requests)
+		merged.PathLen += s.PathLen * float64(s.Requests)
+		merged.MeanResponse += s.MeanResponse * float64(s.Requests)
+		if s.MaxResponse > merged.MaxResponse {
+			merged.MaxResponse = s.MaxResponse
+		}
+		if i == 0 {
+			res.Series = cl.Collector().Series()
+		}
+	}
+	if merged.Requests > 0 {
+		merged.HitRate = float64(merged.Hits) / float64(merged.Requests)
+		merged.Hops /= float64(merged.Requests)
+		merged.PathLen /= float64(merged.Requests)
+		merged.MeanResponse /= float64(merged.Requests)
+	}
+	merged.Elapsed = elapsed
+	res.Summary = merged
+
+	for _, p := range c.adcProxies {
+		res.ProxyStats = append(res.ProxyStats, p.Stats())
+	}
+	for _, p := range c.carpProxies {
+		res.ProxyStats = append(res.ProxyStats, p.Stats())
+	}
+	for _, p := range c.hierProxies {
+		res.ProxyStats = append(res.ProxyStats, p.Stats())
+	}
+	for _, w := range c.coordWorkers {
+		res.ProxyStats = append(res.ProxyStats, w.Stats())
+	}
+	if c.coordNode != nil {
+		res.ProxyStats = append(res.ProxyStats, c.coordNode.Stats())
+	}
+	res.OriginResolved = c.origin.Resolved()
+	return res
+}
+
+// Run builds and runs a cluster in one call.
+func Run(cfg Config, src workload.Source) (*Result, error) {
+	c, err := New(cfg, src)
+	if err != nil {
+		return nil, err
+	}
+	return c.Run()
+}

@@ -1,0 +1,139 @@
+// Package coordinator implements the authors' own first-generation
+// baseline: "the self-organizing approach of proxy load balancing by the
+// usage of a central coordinator in front of all running proxies" (§II.1,
+// ref [26]). Every request and every reply passes the coordinator — "the
+// clear bottleneck situation for the overall system" the paper cites as
+// the motivation for decentralising into ADC — and requests are assigned
+// "without considering previously stored objects".
+//
+// The original used reinforcement learning over response times to pick the
+// best-performing proxy; with homogeneous simulated proxies that policy
+// degenerates to an even spread, so this implementation assigns
+// round-robin (documented substitution: preserves the structural
+// properties — central chokepoint, content-blind placement — that the
+// comparison is about).
+package coordinator
+
+import (
+	"fmt"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/lru"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// Coordinator is the central dispatcher. It holds no cache; it only
+// assigns requests to workers and relays replies back to clients.
+type Coordinator struct {
+	id      ids.NodeID
+	workers []ids.NodeID
+	next    int
+	stats   metrics.ProxyStats
+}
+
+var _ sim.Node = (*Coordinator)(nil)
+
+// NewCoordinator builds the dispatcher for the given worker proxies.
+func NewCoordinator(id ids.NodeID, workers []ids.NodeID) (*Coordinator, error) {
+	if !id.IsProxy() {
+		return nil, fmt.Errorf("coordinator: %v is not a proxy ID", id)
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("coordinator: needs at least one worker")
+	}
+	ws := make([]ids.NodeID, len(workers))
+	copy(ws, workers)
+	return &Coordinator{id: id, workers: ws}, nil
+}
+
+// ID implements sim.Node.
+func (c *Coordinator) ID() ids.NodeID { return c.id }
+
+// Stats snapshots the dispatcher's counters.
+func (c *Coordinator) Stats() metrics.ProxyStats { return c.stats }
+
+// Handle implements sim.Node.
+func (c *Coordinator) Handle(ctx sim.Context, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.Request:
+		// Content-blind assignment: round-robin over the workers.
+		c.stats.Requests++
+		c.stats.ForwardRandom++
+		t.Sender = c.id
+		t.Path = append(t.Path, c.id)
+		t.To = c.workers[c.next%len(c.workers)]
+		c.next++
+		ctx.Send(t)
+	case *msg.Reply:
+		// Feedback passes back through the coordinator (§II.1: "all
+		// requests and feedbacks have to pass the coordinator").
+		c.stats.RepliesSeen++
+		next, _ := t.NextBackward()
+		t.To = next
+		ctx.Send(t)
+	}
+}
+
+// Worker is one cache node behind the coordinator: a plain LRU cache that
+// stores every passing object and fetches misses from the origin.
+type Worker struct {
+	id    ids.NodeID
+	cache *lru.Cache[ids.ObjectID, struct{}]
+	stats metrics.ProxyStats
+}
+
+var _ sim.Node = (*Worker)(nil)
+
+// NewWorker builds one cache node.
+func NewWorker(id ids.NodeID, cacheSize int) (*Worker, error) {
+	if !id.IsProxy() {
+		return nil, fmt.Errorf("coordinator: %v is not a proxy ID", id)
+	}
+	if cacheSize <= 0 {
+		return nil, fmt.Errorf("coordinator: cache size must be positive, got %d", cacheSize)
+	}
+	return &Worker{id: id, cache: lru.New[ids.ObjectID, struct{}](cacheSize)}, nil
+}
+
+// ID implements sim.Node.
+func (w *Worker) ID() ids.NodeID { return w.id }
+
+// Stats snapshots the worker's counters.
+func (w *Worker) Stats() metrics.ProxyStats { return w.stats }
+
+// CacheLen returns the number of cached objects.
+func (w *Worker) CacheLen() int { return w.cache.Len() }
+
+// Handle implements sim.Node.
+func (w *Worker) Handle(ctx sim.Context, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.Request:
+		w.stats.Requests++
+		if _, ok := w.cache.Get(t.Object); ok {
+			w.stats.LocalHits++
+			rep := msg.ReplyTo(t)
+			rep.Resolver = w.id
+			rep.Cached = true
+			next, _ := rep.NextBackward()
+			rep.To = next
+			ctx.Send(rep)
+			return
+		}
+		w.stats.ForwardOrigin++
+		t.Sender = w.id
+		t.Path = append(t.Path, w.id)
+		t.To = ids.Origin
+		ctx.Send(t)
+	case *msg.Reply:
+		w.stats.RepliesSeen++
+		w.stats.CacheInsertions++
+		if w.cache.Put(t.Object, struct{}{}) {
+			w.stats.CacheEvictions++
+		}
+		next, _ := t.NextBackward()
+		t.To = next
+		ctx.Send(t)
+	}
+}

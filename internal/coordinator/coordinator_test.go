@@ -1,0 +1,139 @@
+package coordinator
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+func rig(t *testing.T, workers, cacheSize int) (*sim.Engine, *Coordinator, []*Worker) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var ws []*Worker
+	var ids_ []ids.NodeID
+	for i := 0; i < workers; i++ {
+		w, err := NewWorker(ids.NodeID(i), cacheSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws = append(ws, w)
+		ids_ = append(ids_, w.ID())
+		if err := eng.Register(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	co, err := NewCoordinator(ids.NodeID(workers), ids_)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(co); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(sim.NewOrigin()); err != nil {
+		t.Fatal(err)
+	}
+	return eng, co, ws
+}
+
+type sink struct {
+	id      ids.NodeID
+	replies []*msg.Reply
+}
+
+func (s *sink) ID() ids.NodeID { return s.id }
+func (s *sink) Handle(_ sim.Context, m msg.Message) {
+	if rep, ok := m.(*msg.Reply); ok {
+		s.replies = append(s.replies, rep)
+	}
+}
+
+func send(t *testing.T, eng *sim.Engine, s *sink, to ids.NodeID, obj ids.ObjectID, counter uint64) *msg.Reply {
+	t.Helper()
+	eng.Send(&msg.Request{
+		To: to, ID: ids.NewRequestID(0, counter), Object: obj,
+		Client: s.id, Sender: s.id,
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s.replies[len(s.replies)-1]
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewCoordinator(ids.Origin, []ids.NodeID{0}); err == nil {
+		t.Error("non-proxy coordinator ID must fail")
+	}
+	if _, err := NewCoordinator(1, nil); err == nil {
+		t.Error("empty worker set must fail")
+	}
+	if _, err := NewWorker(ids.Origin, 4); err == nil {
+		t.Error("non-proxy worker ID must fail")
+	}
+	if _, err := NewWorker(0, 0); err == nil {
+		t.Error("zero cache must fail")
+	}
+}
+
+func TestRoundRobinAssignment(t *testing.T) {
+	eng, co, ws := rig(t, 3, 8)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 9; i++ {
+		send(t, eng, s, co.ID(), ids.ObjectID(i), i)
+	}
+	for i, w := range ws {
+		if w.Stats().Requests != 3 {
+			t.Errorf("worker %d received %d requests, want 3", i, w.Stats().Requests)
+		}
+	}
+}
+
+func TestEverythingPassesTheCoordinator(t *testing.T) {
+	eng, co, _ := rig(t, 2, 8)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	// Miss: c→co→w→o→w→co→c = 6 hops.
+	rep := send(t, eng, s, co.ID(), 7, 1)
+	if !rep.FromOrigin || rep.Hops != 6 {
+		t.Errorf("miss = origin:%v hops:%d, want origin at 6", rep.FromOrigin, rep.Hops)
+	}
+	// Round-robin sends request 2 to the other worker (miss again);
+	// request 3 lands back on worker 0: hit at 4 hops via coordinator.
+	send(t, eng, s, co.ID(), 7, 2)
+	rep = send(t, eng, s, co.ID(), 7, 3)
+	if rep.FromOrigin || rep.Hops != 4 {
+		t.Errorf("hit = origin:%v hops:%d, want hit at 4", rep.FromOrigin, rep.Hops)
+	}
+	st := co.Stats()
+	if st.Requests != 3 || st.RepliesSeen != 3 {
+		t.Errorf("coordinator saw %d requests / %d replies, want 3/3", st.Requests, st.RepliesSeen)
+	}
+}
+
+func TestContentBlindDuplication(t *testing.T) {
+	// The coordinator's weakness: the same object lands on every
+	// worker, wasting capacity (what ADC's agreement avoids).
+	eng, co, ws := rig(t, 3, 8)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 6; i++ {
+		send(t, eng, s, co.ID(), 42, i)
+	}
+	copies := 0
+	for _, w := range ws {
+		if w.CacheLen() == 1 {
+			copies++
+		}
+	}
+	if copies != 3 {
+		t.Errorf("object duplicated on %d workers, want all 3", copies)
+	}
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// Micro-benchmarks for the ordered-table backends: the paper's Fig. 15
+// bottleneck (list), its own implementation (slice + binary search), and
+// the proposed replacement (skip list). Run with
+// `go test -bench=Ordered ./internal/core`.
+
+func benchmarkOrderedUpdate(b *testing.B, backend Backend, size int) {
+	tbl := NewOrdered(size, backend)
+	rng := rand.New(rand.NewSource(1))
+	// Pre-fill.
+	for i := 0; i < size; i++ {
+		tbl.Insert(mkBenchEntry(ids.ObjectID(i), int64(rng.Intn(1_000_000))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := ids.ObjectID(rng.Intn(size))
+		if e := tbl.Remove(obj); e != nil {
+			e.Avg = int64(rng.Intn(1_000_000))
+			tbl.Insert(e)
+		} else {
+			tbl.Insert(mkBenchEntry(obj, int64(rng.Intn(1_000_000))))
+		}
+	}
+}
+
+func mkBenchEntry(obj ids.ObjectID, key int64) *Entry {
+	return &Entry{Object: obj, Avg: key, Hits: 2}
+}
+
+func BenchmarkOrderedUpdate(b *testing.B) {
+	for _, backend := range []Backend{BackendSlice, BackendSkipList, BackendList} {
+		for _, size := range []int{1_000, 10_000} {
+			// The list backend at 10k is painfully slow by design;
+			// keep it to show the gap, it is the whole point.
+			b.Run(fmt.Sprintf("%s/%d", backend, size), func(b *testing.B) {
+				benchmarkOrderedUpdate(b, backend, size)
+			})
+		}
+	}
+}
+
+// BenchmarkTablesUpdate measures the full Update_Entry state machine at
+// the paper's reference table shape (scaled 1/10).
+func BenchmarkTablesUpdate(b *testing.B) {
+	for _, backend := range []Backend{BackendSlice, BackendSkipList} {
+		b.Run(backend.String(), func(b *testing.B) {
+			tbl, err := NewTables(Config{
+				SingleSize: 2000, MultipleSize: 2000, CachingSize: 1000,
+				Backend: backend,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(7))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tbl.Update(ids.ObjectID(rng.Intn(5000)), ids.NodeID(rng.Intn(5)), int64(i))
+			}
+		})
+	}
+}
+
+// BenchmarkSingleTable contrasts the O(1) indexed single-table with the
+// paper's O(n) scan variant.
+func BenchmarkSingleTable(b *testing.B) {
+	for _, scan := range []bool{false, true} {
+		name := "indexed"
+		if scan {
+			name = "scan"
+		}
+		b.Run(name, func(b *testing.B) {
+			tbl := NewSingleTable(2000, scan)
+			rng := rand.New(rand.NewSource(3))
+			for i := 0; i < 2000; i++ {
+				tbl.InsertTop(NewEntry(ids.ObjectID(i), 0, int64(i)))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				obj := ids.ObjectID(rng.Intn(4000))
+				if e := tbl.Remove(obj); e != nil {
+					tbl.InsertTop(e)
+				} else {
+					tbl.InsertTop(NewEntry(obj, 0, int64(i)))
+				}
+			}
+		})
+	}
+}

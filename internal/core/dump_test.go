@@ -1,0 +1,68 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// TestTableDump reproduces the paper's sample-table figures (Figs. 1–3) as
+// a golden rendering: a hand-built scenario dumped in the exact row layout
+// of the paper (OBJ-ID, PROXY, LAST, AVG, HITS), plus the aged value.
+func TestTableDump(t *testing.T) {
+	entries := []*Entry{
+		{Object: 6, Location: ids.NodeID(3), Last: 1152, Avg: 2, Hits: 434},
+		{Object: 5, Location: ids.NodeID(0), Last: 5453, Avg: 5, Hits: 342},
+		{Object: 33, Location: ids.NodeID(2), Last: 5254, Avg: 6, Hits: 211},
+	}
+	var buf bytes.Buffer
+	if err := DumpTable(&buf, "Caching Table", entries, 5453); err != nil {
+		t.Fatal(err)
+	}
+	want := "" +
+		"Caching Table (3 entries)\n" +
+		"OBJ-ID         PROXY        LAST    AVG   HITS   AGED\n" +
+		"www.xy6        Proxy[3]     1152      2    434   2151\n" +
+		"www.xy5        Proxy[0]     5453      5    342      2\n" +
+		"www.xy33       Proxy[2]     5254      6    211    102\n"
+	if got := buf.String(); got != want {
+		t.Errorf("golden mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestDumpAfterRealTraffic renders a live proxy's tables, checking that
+// the structure mirrors the paper's Figs. 1–3: a caching table of hot
+// objects, an ordered multiple-table, and an LRU single-table of recent
+// first-sightings, with THIS-style self locations possible in each.
+func TestDumpAfterRealTraffic(t *testing.T) {
+	tbl := newTestTables(t, 6, 4, 2)
+	now := int64(0)
+	// Hot objects 1-2 (gap 2), warm 10-13 (gap ~8), cold stream 100+.
+	cold := ids.ObjectID(100)
+	for i := 0; i < 200; i++ {
+		now++
+		switch i % 4 {
+		case 0, 2:
+			tbl.Update(ids.ObjectID(1+i%2), 0, now)
+		case 1:
+			tbl.Update(ids.ObjectID(10+(i/4)%4), 1, now)
+		case 3:
+			cold++
+			tbl.Update(cold, 2, now)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tbl.Dump(&buf, now); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, section := range []string{"Caching Table", "Multiple-Table", "Single-Table"} {
+		if !bytes.Contains([]byte(out), []byte(section)) {
+			t.Errorf("dump missing section %q", section)
+		}
+	}
+	if tbl.Caching().Len() == 0 || tbl.Single().Len() == 0 {
+		t.Error("scenario failed to populate the tables")
+	}
+}

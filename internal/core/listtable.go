@@ -1,0 +1,113 @@
+package core
+
+import "github.com/adc-sim/adc/internal/ids"
+
+// listTable is the paper-faithful ordered-table backend: a sorted doubly
+// linked list searched element-wise, the structure whose cost the paper
+// measures in Fig. 15 ("Both accesses are extremely time consuming and a
+// more adapted data structure should provide speed-ups", §V.3.3). Every
+// operation is O(n) with pointer-chasing constants; it exists for the
+// timing reproduction and the backend ablation, not for production use.
+type listTable struct {
+	capacity   int
+	head, tail *listNode // sentinels; ascending key order between them
+	size       int
+}
+
+type listNode struct {
+	entry      *Entry
+	prev, next *listNode
+}
+
+var _ Ordered = (*listTable)(nil)
+
+func newListTable(capacity int) *listTable {
+	t := &listTable{
+		capacity: capacity,
+		head:     &listNode{},
+		tail:     &listNode{},
+	}
+	t.head.next = t.tail
+	t.tail.prev = t.head
+	return t
+}
+
+func (t *listTable) Len() int { return t.size }
+func (t *listTable) Cap() int { return t.capacity }
+
+func (t *listTable) find(obj ids.ObjectID) *listNode {
+	for n := t.head.next; n != t.tail; n = n.next {
+		if n.entry.Object == obj {
+			return n
+		}
+	}
+	return nil
+}
+
+func (t *listTable) Contains(obj ids.ObjectID) bool { return t.find(obj) != nil }
+
+func (t *listTable) Get(obj ids.ObjectID) *Entry {
+	if n := t.find(obj); n != nil {
+		return n.entry
+	}
+	return nil
+}
+
+func (t *listTable) Remove(obj ids.ObjectID) *Entry {
+	n := t.find(obj)
+	if n == nil {
+		return nil
+	}
+	t.unlink(n)
+	return n.entry
+}
+
+func (t *listTable) Insert(e *Entry) *Entry {
+	if t.capacity == 0 {
+		return e
+	}
+	// Walk to the first node not less than e and insert before it.
+	at := t.head.next
+	for at != t.tail && less(at.entry, e) {
+		at = at.next
+	}
+	n := &listNode{entry: e, prev: at.prev, next: at}
+	at.prev.next = n
+	at.prev = n
+	t.size++
+	if t.size > t.capacity {
+		return t.RemoveWorst()
+	}
+	return nil
+}
+
+func (t *listTable) RemoveWorst() *Entry {
+	if t.size == 0 {
+		return nil
+	}
+	n := t.tail.prev
+	t.unlink(n)
+	return n.entry
+}
+
+func (t *listTable) WorstKey() (int64, bool) {
+	if t.size == 0 {
+		return 0, false
+	}
+	return t.tail.prev.entry.Key(), true
+}
+
+func (t *listTable) Entries() []*Entry {
+	out := make([]*Entry, 0, t.size)
+	for n := t.head.next; n != t.tail; n = n.next {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+func (t *listTable) unlink(n *listNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+	t.size--
+}

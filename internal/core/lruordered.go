@@ -1,0 +1,112 @@
+package core
+
+import "github.com/adc-sim/adc/internal/ids"
+
+// lruOrdered is an Ordered implementation that orders by recency of update
+// instead of aged average: Insert always places the entry at the
+// most-recent end and evicts the least recently updated entry when full.
+// Together with Config.CacheAdmitAll it turns the caching table into the
+// "typical LRU algorithm" the paper compares selective caching against
+// (§III.4) — the ablation baseline, not part of the ADC algorithm proper.
+type lruOrdered struct {
+	capacity   int
+	head, tail *lruNode // head.next = most recently inserted
+	size       int
+	index      map[ids.ObjectID]*lruNode
+}
+
+type lruNode struct {
+	entry      *Entry
+	prev, next *lruNode
+}
+
+var _ Ordered = (*lruOrdered)(nil)
+
+func newLRUOrdered(capacity int) *lruOrdered {
+	t := &lruOrdered{
+		capacity: capacity,
+		head:     &lruNode{},
+		tail:     &lruNode{},
+		index:    make(map[ids.ObjectID]*lruNode, capacity),
+	}
+	t.head.next = t.tail
+	t.tail.prev = t.head
+	return t
+}
+
+func (t *lruOrdered) Len() int { return t.size }
+func (t *lruOrdered) Cap() int { return t.capacity }
+
+func (t *lruOrdered) Contains(obj ids.ObjectID) bool {
+	_, ok := t.index[obj]
+	return ok
+}
+
+func (t *lruOrdered) Get(obj ids.ObjectID) *Entry {
+	if n, ok := t.index[obj]; ok {
+		return n.entry
+	}
+	return nil
+}
+
+func (t *lruOrdered) Remove(obj ids.ObjectID) *Entry {
+	n, ok := t.index[obj]
+	if !ok {
+		return nil
+	}
+	t.unlink(n)
+	delete(t.index, obj)
+	return n.entry
+}
+
+func (t *lruOrdered) Insert(e *Entry) *Entry {
+	if t.capacity == 0 {
+		return e
+	}
+	var evicted *Entry
+	if t.size >= t.capacity {
+		evicted = t.RemoveWorst()
+	}
+	n := &lruNode{entry: e}
+	n.prev = t.head
+	n.next = t.head.next
+	t.head.next.prev = n
+	t.head.next = n
+	t.index[e.Object] = n
+	t.size++
+	return evicted
+}
+
+func (t *lruOrdered) RemoveWorst() *Entry {
+	if t.size == 0 {
+		return nil
+	}
+	n := t.tail.prev
+	t.unlink(n)
+	delete(t.index, n.entry.Object)
+	return n.entry
+}
+
+func (t *lruOrdered) WorstKey() (int64, bool) {
+	if t.size == 0 {
+		return 0, false
+	}
+	return t.tail.prev.entry.Key(), true
+}
+
+// Entries returns entries from most to least recently updated; "ascending
+// key order" does not apply to the recency ordering.
+func (t *lruOrdered) Entries() []*Entry {
+	out := make([]*Entry, 0, t.size)
+	for n := t.head.next; n != t.tail; n = n.next {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+func (t *lruOrdered) unlink(n *lruNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+	t.size--
+}

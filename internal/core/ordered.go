@@ -1,0 +1,180 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// Ordered is a bounded table kept in ascending order of Entry.Key — the
+// shared shape of the multiple-table (§III.3.2) and the caching table
+// (§III.3.3). "This order allows the simple identification of the object
+// with the worst average time and quick insertions/deletions" (§III.3.2).
+//
+// An entry's Key must stay constant while it is stored; callers remove an
+// entry, mutate it (CalcAverage, Location), and re-insert it, exactly as
+// the paper's Update_Entry does.
+type Ordered interface {
+	// Len returns the number of stored entries.
+	Len() int
+	// Cap returns the configured capacity.
+	Cap() int
+	// Contains reports whether obj has an entry.
+	Contains(obj ids.ObjectID) bool
+	// Get returns the entry for obj without removing it, or nil.
+	Get(obj ids.ObjectID) *Entry
+	// Remove takes the entry for obj out of the table; nil if absent.
+	Remove(obj ids.ObjectID) *Entry
+	// Insert places e at its ordered position (the paper's
+	// InsertOrdered). If the table is full, the worst entry — the one
+	// with the largest key, possibly e itself — is evicted and
+	// returned; otherwise the return is nil.
+	Insert(e *Entry) (evicted *Entry)
+	// RemoveWorst evicts and returns the entry with the largest key
+	// (the paper's RemoveLastEntry), or nil when empty.
+	RemoveWorst() *Entry
+	// WorstKey returns the largest key in the table; ok is false when
+	// the table is empty.
+	WorstKey() (key int64, ok bool)
+	// Entries returns the entries in ascending key order. The slice is
+	// freshly allocated; the entries are shared.
+	Entries() []*Entry
+}
+
+// Backend selects the data structure behind an Ordered table.
+type Backend int
+
+// Supported ordered-table backends.
+const (
+	// BackendSlice is a sorted slice with binary search — the paper's
+	// own structure ("insertion and deletion at the ordered
+	// multiple-table is mostly operated by binary search algorithms",
+	// §V.3.3). O(log n) search, O(n) insert/delete due to shifting.
+	BackendSlice Backend = iota
+	// BackendSkipList is a deterministic skip list — the "more adapted
+	// data structure [that] should provide speed-ups" the paper calls
+	// for in §V.3.3. O(log n) for every operation.
+	BackendSkipList
+	// BackendList is the fully paper-faithful sorted linked list with
+	// element-wise search, used by the Fig. 15 timing reproduction.
+	// O(n) everything; do not use outside that experiment.
+	BackendList
+)
+
+// String implements fmt.Stringer.
+func (b Backend) String() string {
+	switch b {
+	case BackendSlice:
+		return "slice"
+	case BackendSkipList:
+		return "skiplist"
+	case BackendList:
+		return "list"
+	default:
+		return "unknown"
+	}
+}
+
+// NewOrdered returns an empty ordered table with the given capacity using
+// the selected backend. Capacity must be non-negative (a zero-capacity
+// table rejects every insert).
+func NewOrdered(capacity int, backend Backend) Ordered {
+	switch backend {
+	case BackendSkipList:
+		return newSkipTable(capacity)
+	case BackendList:
+		return newListTable(capacity)
+	default:
+		return newSliceTable(capacity)
+	}
+}
+
+// sliceTable is the sorted-slice backend.
+type sliceTable struct {
+	capacity int
+	entries  []*Entry // ascending by (Key, Object)
+	index    map[ids.ObjectID]*Entry
+}
+
+var _ Ordered = (*sliceTable)(nil)
+
+func newSliceTable(capacity int) *sliceTable {
+	return &sliceTable{
+		capacity: capacity,
+		entries:  make([]*Entry, 0, capacity),
+		index:    make(map[ids.ObjectID]*Entry, capacity),
+	}
+}
+
+func (t *sliceTable) Len() int { return len(t.entries) }
+func (t *sliceTable) Cap() int { return t.capacity }
+
+func (t *sliceTable) Contains(obj ids.ObjectID) bool {
+	_, ok := t.index[obj]
+	return ok
+}
+
+func (t *sliceTable) Get(obj ids.ObjectID) *Entry { return t.index[obj] }
+
+// position finds the index of e in the slice via binary search on
+// (Key, Object). e must be present.
+func (t *sliceTable) position(e *Entry) int {
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return !less(t.entries[i], e)
+	})
+	// i now points at the first entry not less than e, which is e itself
+	// because (Key, Object) is unique per table.
+	return i
+}
+
+func (t *sliceTable) Remove(obj ids.ObjectID) *Entry {
+	e, ok := t.index[obj]
+	if !ok {
+		return nil
+	}
+	i := t.position(e)
+	copy(t.entries[i:], t.entries[i+1:])
+	t.entries = t.entries[:len(t.entries)-1]
+	delete(t.index, obj)
+	return e
+}
+
+func (t *sliceTable) Insert(e *Entry) *Entry {
+	if t.capacity == 0 {
+		return e
+	}
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return !less(t.entries[i], e)
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	t.index[e.Object] = e
+	if len(t.entries) > t.capacity {
+		return t.RemoveWorst()
+	}
+	return nil
+}
+
+func (t *sliceTable) RemoveWorst() *Entry {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	e := t.entries[len(t.entries)-1]
+	t.entries = t.entries[:len(t.entries)-1]
+	delete(t.index, e.Object)
+	return e
+}
+
+func (t *sliceTable) WorstKey() (int64, bool) {
+	if len(t.entries) == 0 {
+		return 0, false
+	}
+	return t.entries[len(t.entries)-1].Key(), true
+}
+
+func (t *sliceTable) Entries() []*Entry {
+	out := make([]*Entry, len(t.entries))
+	copy(out, t.entries)
+	return out
+}

@@ -1,0 +1,130 @@
+package core
+
+import "github.com/adc-sim/adc/internal/ids"
+
+// SingleTable is the paper's single-table (§III.3.1): a bounded LRU list
+// that "simply keeps track of the current flow of requests". New and
+// re-inserted entries go on top; when the table is full the bottom entry
+// drops out.
+//
+// Two lookup strategies are available. The default keeps a map next to the
+// list for O(1) search. The paper's own implementation "requires the
+// element-wise search within the list" (§V.3.3) — pass scan=true to
+// reproduce that O(n) behaviour for the Fig. 15 ablation.
+type SingleTable struct {
+	capacity int
+	// head/tail sentinels; head.next is the top (most recent).
+	head, tail *singleNode
+	size       int
+	// index is nil in scan mode.
+	index map[ids.ObjectID]*singleNode
+}
+
+type singleNode struct {
+	entry      *Entry
+	prev, next *singleNode
+}
+
+// NewSingleTable returns an empty single-table with the given capacity.
+// scan selects the paper-faithful linear-search mode. Capacity must be
+// positive; the constructor in Tables validates configuration.
+func NewSingleTable(capacity int, scan bool) *SingleTable {
+	t := &SingleTable{
+		capacity: capacity,
+		head:     &singleNode{},
+		tail:     &singleNode{},
+	}
+	t.head.next = t.tail
+	t.tail.prev = t.head
+	if !scan {
+		t.index = make(map[ids.ObjectID]*singleNode, capacity)
+	}
+	return t
+}
+
+// Len returns the number of stored entries.
+func (t *SingleTable) Len() int { return t.size }
+
+// Cap returns the configured capacity.
+func (t *SingleTable) Cap() int { return t.capacity }
+
+// Contains reports whether obj has an entry.
+func (t *SingleTable) Contains(obj ids.ObjectID) bool {
+	return t.find(obj) != nil
+}
+
+// Get returns the entry for obj without removing it, or nil. It does not
+// touch LRU order: in the paper only (re-)insertion moves an entry to the
+// top; Forward_Addr lookups leave the order untouched.
+func (t *SingleTable) Get(obj ids.ObjectID) *Entry {
+	if n := t.find(obj); n != nil {
+		return n.entry
+	}
+	return nil
+}
+
+// Remove takes the entry for obj out of the table, returning nil if absent.
+func (t *SingleTable) Remove(obj ids.ObjectID) *Entry {
+	n := t.find(obj)
+	if n == nil {
+		return nil
+	}
+	t.unlink(n)
+	if t.index != nil {
+		delete(t.index, obj)
+	}
+	t.size--
+	return n.entry
+}
+
+// InsertTop places e on top of the table (the paper's InsertOnTop). If the
+// table is full, the bottom entry drops out and is returned; otherwise the
+// return is nil. The caller must ensure e's object is not already present.
+func (t *SingleTable) InsertTop(e *Entry) (dropped *Entry) {
+	if t.size >= t.capacity {
+		last := t.tail.prev
+		t.unlink(last)
+		if t.index != nil {
+			delete(t.index, last.entry.Object)
+		}
+		t.size--
+		dropped = last.entry
+	}
+	n := &singleNode{entry: e}
+	n.prev = t.head
+	n.next = t.head.next
+	t.head.next.prev = n
+	t.head.next = n
+	if t.index != nil {
+		t.index[e.Object] = n
+	}
+	t.size++
+	return dropped
+}
+
+// Entries returns the entries from top (most recent) to bottom.
+func (t *SingleTable) Entries() []*Entry {
+	out := make([]*Entry, 0, t.size)
+	for n := t.head.next; n != t.tail; n = n.next {
+		out = append(out, n.entry)
+	}
+	return out
+}
+
+func (t *SingleTable) find(obj ids.ObjectID) *singleNode {
+	if t.index != nil {
+		return t.index[obj]
+	}
+	for n := t.head.next; n != t.tail; n = n.next {
+		if n.entry.Object == obj {
+			return n
+		}
+	}
+	return nil
+}
+
+func (t *SingleTable) unlink(n *singleNode) {
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	n.prev, n.next = nil, nil
+}

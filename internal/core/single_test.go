@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// Both single-table modes (indexed and paper-faithful scan) must behave
+// identically; every test runs against both.
+func forEachSingleMode(t *testing.T, capacity int, fn func(t *testing.T, tbl *SingleTable)) {
+	t.Helper()
+	for _, scan := range []bool{false, true} {
+		name := "indexed"
+		if scan {
+			name = "scan"
+		}
+		t.Run(name, func(t *testing.T) {
+			fn(t, NewSingleTable(capacity, scan))
+		})
+	}
+}
+
+func TestSingleTableInsertAndLookup(t *testing.T) {
+	forEachSingleMode(t, 4, func(t *testing.T, tbl *SingleTable) {
+		for i := 1; i <= 3; i++ {
+			if dropped := tbl.InsertTop(NewEntry(ids.ObjectID(i), 0, int64(i))); dropped != nil {
+				t.Fatalf("unexpected drop %v before capacity reached", dropped.Object)
+			}
+		}
+		if tbl.Len() != 3 {
+			t.Fatalf("Len = %d, want 3", tbl.Len())
+		}
+		if !tbl.Contains(2) {
+			t.Error("Contains(2) = false, want true")
+		}
+		if e := tbl.Get(2); e == nil || e.Object != 2 {
+			t.Errorf("Get(2) = %v", e)
+		}
+		if tbl.Contains(99) {
+			t.Error("Contains(99) = true, want false")
+		}
+	})
+}
+
+func TestSingleTableLRUEviction(t *testing.T) {
+	// §III.3.1: "Each unknown object will receive a new entry on the top
+	// of the table, displacing the oldest entry at the bottom".
+	forEachSingleMode(t, 3, func(t *testing.T, tbl *SingleTable) {
+		for i := 1; i <= 3; i++ {
+			tbl.InsertTop(NewEntry(ids.ObjectID(i), 0, int64(i)))
+		}
+		dropped := tbl.InsertTop(NewEntry(4, 0, 4))
+		if dropped == nil || dropped.Object != 1 {
+			t.Fatalf("dropped = %v, want oldest object 1", dropped)
+		}
+		if tbl.Contains(1) {
+			t.Error("evicted object still present")
+		}
+		if tbl.Len() != 3 {
+			t.Errorf("Len = %d, want 3", tbl.Len())
+		}
+		// Top-to-bottom order must be 4, 3, 2.
+		got := tbl.Entries()
+		want := []ids.ObjectID{4, 3, 2}
+		for i, e := range got {
+			if e.Object != want[i] {
+				t.Errorf("Entries()[%d].Object = %v, want %v", i, e.Object, want[i])
+			}
+		}
+	})
+}
+
+func TestSingleTableRemove(t *testing.T) {
+	forEachSingleMode(t, 3, func(t *testing.T, tbl *SingleTable) {
+		tbl.InsertTop(NewEntry(1, 0, 1))
+		tbl.InsertTop(NewEntry(2, 0, 2))
+		e := tbl.Remove(1)
+		if e == nil || e.Object != 1 {
+			t.Fatalf("Remove(1) = %v", e)
+		}
+		if tbl.Len() != 1 || tbl.Contains(1) {
+			t.Error("entry not fully removed")
+		}
+		if tbl.Remove(1) != nil {
+			t.Error("second Remove(1) should return nil")
+		}
+		if tbl.Remove(99) != nil {
+			t.Error("Remove of absent object should return nil")
+		}
+	})
+}
+
+func TestSingleTableGetDoesNotPromote(t *testing.T) {
+	// Forward_Addr lookups must not refresh LRU order; only
+	// re-insertion via Update_Entry moves an entry to the top.
+	forEachSingleMode(t, 2, func(t *testing.T, tbl *SingleTable) {
+		tbl.InsertTop(NewEntry(1, 0, 1))
+		tbl.InsertTop(NewEntry(2, 0, 2))
+		tbl.Get(1) // touch the bottom entry
+		dropped := tbl.InsertTop(NewEntry(3, 0, 3))
+		if dropped == nil || dropped.Object != 1 {
+			t.Errorf("dropped = %v, want 1 (Get must not promote)", dropped)
+		}
+	})
+}
+
+func TestSingleTableCapacityOne(t *testing.T) {
+	forEachSingleMode(t, 1, func(t *testing.T, tbl *SingleTable) {
+		tbl.InsertTop(NewEntry(1, 0, 1))
+		dropped := tbl.InsertTop(NewEntry(2, 0, 2))
+		if dropped == nil || dropped.Object != 1 {
+			t.Fatalf("dropped = %v, want 1", dropped)
+		}
+		if tbl.Len() != 1 || !tbl.Contains(2) {
+			t.Error("capacity-1 table in wrong state")
+		}
+	})
+}
+
+// TestSingleTableModesAgree drives both modes with the same random
+// operation sequence and requires identical observable state throughout.
+func TestSingleTableModesAgree(t *testing.T) {
+	type op struct {
+		Insert bool
+		Obj    uint8
+	}
+	prop := func(ops []op) bool {
+		indexed := NewSingleTable(8, false)
+		scan := NewSingleTable(8, true)
+		for i, o := range ops {
+			obj := ids.ObjectID(o.Obj % 16)
+			if o.Insert {
+				// Avoid duplicate inserts: InsertTop requires
+				// the object to be absent.
+				if indexed.Contains(obj) {
+					continue
+				}
+				d1 := indexed.InsertTop(NewEntry(obj, 0, int64(i)))
+				d2 := scan.InsertTop(NewEntry(obj, 0, int64(i)))
+				if (d1 == nil) != (d2 == nil) {
+					return false
+				}
+				if d1 != nil && d1.Object != d2.Object {
+					return false
+				}
+			} else {
+				r1 := indexed.Remove(obj)
+				r2 := scan.Remove(obj)
+				if (r1 == nil) != (r2 == nil) {
+					return false
+				}
+			}
+			if indexed.Len() != scan.Len() {
+				return false
+			}
+		}
+		e1, e2 := indexed.Entries(), scan.Entries()
+		for i := range e1 {
+			if e1[i].Object != e2[i].Object {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSingleTableNeverExceedsCapacity is invariant 1 of DESIGN.md §7.
+func TestSingleTableNeverExceedsCapacity(t *testing.T) {
+	prop := func(objs []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%7) + 1
+		tbl := NewSingleTable(capacity, false)
+		for i, o := range objs {
+			obj := ids.ObjectID(o)
+			if tbl.Contains(obj) {
+				tbl.Remove(obj)
+			}
+			tbl.InsertTop(NewEntry(obj, 0, int64(i)))
+			if tbl.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,176 @@
+package core
+
+import "github.com/adc-sim/adc/internal/ids"
+
+// skipTable is the skip-list backend for Ordered — the "more adapted data
+// structure" the paper's §V.3.3 calls for to replace the O(n) shifting of
+// the sorted-slice tables. All operations are O(log n) expected.
+//
+// Level coins come from a private xorshift generator with a fixed seed, so
+// a simulation run is bit-for-bit reproducible regardless of backend.
+type skipTable struct {
+	capacity int
+	head     *skipNode
+	size     int
+	level    int
+	rng      uint64
+	index    map[ids.ObjectID]*Entry
+}
+
+const skipMaxLevel = 24
+
+type skipNode struct {
+	entry   *Entry
+	forward []*skipNode
+	// backward supports O(1) access to the worst (last) entry.
+	backward *skipNode
+}
+
+var _ Ordered = (*skipTable)(nil)
+
+func newSkipTable(capacity int) *skipTable {
+	return &skipTable{
+		capacity: capacity,
+		head:     &skipNode{forward: make([]*skipNode, skipMaxLevel)},
+		level:    1,
+		rng:      0x9e3779b97f4a7c15,
+		index:    make(map[ids.ObjectID]*Entry, capacity),
+	}
+}
+
+// randLevel draws a geometric level with p = 1/2 from the xorshift stream.
+func (t *skipTable) randLevel() int {
+	t.rng ^= t.rng << 13
+	t.rng ^= t.rng >> 7
+	t.rng ^= t.rng << 17
+	lvl := 1
+	for v := t.rng; v&1 == 1 && lvl < skipMaxLevel; v >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+func (t *skipTable) Len() int { return t.size }
+func (t *skipTable) Cap() int { return t.capacity }
+
+func (t *skipTable) Contains(obj ids.ObjectID) bool {
+	_, ok := t.index[obj]
+	return ok
+}
+
+func (t *skipTable) Get(obj ids.ObjectID) *Entry { return t.index[obj] }
+
+// findPredecessors fills update with, per level, the last node whose entry
+// is strictly less than e.
+func (t *skipTable) findPredecessors(e *Entry, update *[skipMaxLevel]*skipNode) {
+	x := t.head
+	for i := t.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil && less(x.forward[i].entry, e) {
+			x = x.forward[i]
+		}
+		update[i] = x
+	}
+}
+
+func (t *skipTable) Remove(obj ids.ObjectID) *Entry {
+	e, ok := t.index[obj]
+	if !ok {
+		return nil
+	}
+	t.removeEntry(e)
+	return e
+}
+
+func (t *skipTable) removeEntry(e *Entry) {
+	var update [skipMaxLevel]*skipNode
+	t.findPredecessors(e, &update)
+	target := update[0].forward[0]
+	// target is the node holding e: (Key, Object) is unique per table.
+	for i := 0; i < t.level; i++ {
+		if update[i].forward[i] != target {
+			break
+		}
+		update[i].forward[i] = target.forward[i]
+	}
+	if target.forward[0] != nil {
+		target.forward[0].backward = update[0]
+	}
+	for t.level > 1 && t.head.forward[t.level-1] == nil {
+		t.level--
+	}
+	delete(t.index, e.Object)
+	t.size--
+}
+
+func (t *skipTable) Insert(e *Entry) *Entry {
+	if t.capacity == 0 {
+		return e
+	}
+	var update [skipMaxLevel]*skipNode
+	t.findPredecessors(e, &update)
+
+	lvl := t.randLevel()
+	if lvl > t.level {
+		for i := t.level; i < lvl; i++ {
+			update[i] = t.head
+		}
+		t.level = lvl
+	}
+	n := &skipNode{entry: e, forward: make([]*skipNode, lvl)}
+	for i := 0; i < lvl; i++ {
+		n.forward[i] = update[i].forward[i]
+		update[i].forward[i] = n
+	}
+	n.backward = update[0]
+	if n.forward[0] != nil {
+		n.forward[0].backward = n
+	}
+	t.index[e.Object] = e
+	t.size++
+	if t.size > t.capacity {
+		return t.RemoveWorst()
+	}
+	return nil
+}
+
+func (t *skipTable) RemoveWorst() *Entry {
+	worst := t.last()
+	if worst == nil {
+		return nil
+	}
+	e := worst.entry
+	t.removeEntry(e)
+	return e
+}
+
+func (t *skipTable) WorstKey() (int64, bool) {
+	worst := t.last()
+	if worst == nil {
+		return 0, false
+	}
+	return worst.entry.Key(), true
+}
+
+// last returns the node with the largest key, or nil when empty. It walks
+// the top levels, which is O(log n); the backward pointer of a tail node is
+// maintained but walking from head keeps the invariants simpler.
+func (t *skipTable) last() *skipNode {
+	x := t.head
+	for i := t.level - 1; i >= 0; i-- {
+		for x.forward[i] != nil {
+			x = x.forward[i]
+		}
+	}
+	if x == t.head {
+		return nil
+	}
+	return x
+}
+
+func (t *skipTable) Entries() []*Entry {
+	out := make([]*Entry, 0, t.size)
+	for x := t.head.forward[0]; x != nil; x = x.forward[0] {
+		out = append(out, x.entry)
+	}
+	return out
+}

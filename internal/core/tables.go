@@ -1,0 +1,275 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// Config sizes and shapes one proxy's mapping tables. The paper's reference
+// configuration is 20k/20k/10k (§V.2).
+type Config struct {
+	// SingleSize is the single-table capacity (first sightings).
+	SingleSize int
+	// MultipleSize is the multiple-table capacity (objects seen ≥2×).
+	MultipleSize int
+	// CachingSize is the caching-table capacity — the local cache size.
+	CachingSize int
+	// Backend selects the ordered-table implementation (default: the
+	// paper's sorted slice).
+	Backend Backend
+	// SingleScan selects the paper-faithful O(n) linear-search
+	// single-table used for the Fig. 15 timing ablation.
+	SingleScan bool
+	// CacheAdmitAll replaces selective caching with the behaviour the
+	// paper ascribes to hierarchical and hashing systems: "every proxy
+	// stores all passing objects regardless of its future significance
+	// and usually uses the LRU algorithm as the cache replacement
+	// strategy" (§III.4). Every Update puts the object straight into an
+	// LRU caching table; evicted entries fall back into the
+	// single-table so forwarding information survives eviction.
+	// Ablation only.
+	CacheAdmitAll bool
+	// AgingOff disables the aging rule of Fig. 4: tables order by raw
+	// average instead of aged average. Ablation only.
+	AgingOff bool
+}
+
+// Validate reports the first configuration error, if any.
+func (c Config) Validate() error {
+	if c.SingleSize <= 0 {
+		return fmt.Errorf("core: single-table size must be positive, got %d", c.SingleSize)
+	}
+	if c.MultipleSize <= 0 {
+		return fmt.Errorf("core: multiple-table size must be positive, got %d", c.MultipleSize)
+	}
+	if c.CachingSize <= 0 {
+		return fmt.Errorf("core: caching-table size must be positive, got %d", c.CachingSize)
+	}
+	switch c.Backend {
+	case BackendSlice, BackendSkipList, BackendList:
+	default:
+		return fmt.Errorf("core: unknown ordered-table backend %d", int(c.Backend))
+	}
+	return nil
+}
+
+// Tables is one proxy's complete mapping-table state: the single-, multiple-
+// and caching tables plus the Update_Entry logic that moves entries between
+// them (paper Fig. 8). The caching table doubles as the cache itself — its
+// entries "represent actually stored objects" (§III.3.3); since the testbed
+// does not move payloads (§V.1), membership is storage.
+type Tables struct {
+	single   *SingleTable
+	multiple Ordered
+	caching  Ordered
+
+	admitAll bool
+	agingOff bool
+}
+
+// NewTables builds the three tables for one proxy.
+func NewTables(cfg Config) (*Tables, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	caching := NewOrdered(cfg.CachingSize, cfg.Backend)
+	if cfg.CacheAdmitAll {
+		caching = newLRUOrdered(cfg.CachingSize)
+	}
+	return &Tables{
+		single:   NewSingleTable(cfg.SingleSize, cfg.SingleScan),
+		multiple: NewOrdered(cfg.MultipleSize, cfg.Backend),
+		caching:  caching,
+		admitAll: cfg.CacheAdmitAll,
+		agingOff: cfg.AgingOff,
+	}, nil
+}
+
+// Single exposes the single-table (read-mostly: dumps, tests, metrics).
+func (t *Tables) Single() *SingleTable { return t.single }
+
+// Multiple exposes the multiple-table.
+func (t *Tables) Multiple() Ordered { return t.multiple }
+
+// Caching exposes the caching table.
+func (t *Tables) Caching() Ordered { return t.caching }
+
+// IsCached reports whether obj is in the local cache, i.e. has a caching-
+// table entry.
+func (t *Tables) IsCached(obj ids.ObjectID) bool {
+	return t.caching.Contains(obj)
+}
+
+// Lookup finds the entry for obj, searching "in the order caching table,
+// multiple-table and single-table" (§IV.3). It never mutates state.
+func (t *Tables) Lookup(obj ids.ObjectID) (*Entry, Kind) {
+	if e := t.caching.Get(obj); e != nil {
+		return e, KindCaching
+	}
+	if e := t.multiple.Get(obj); e != nil {
+		return e, KindMultiple
+	}
+	if e := t.single.Get(obj); e != nil {
+		return e, KindSingle
+	}
+	return nil, KindNone
+}
+
+// Outcome reports what Update did, so the proxy can maintain its counters
+// and tests can assert the promotion/demotion chains.
+type Outcome struct {
+	// From is the table the entry was found in; KindNone means a new
+	// entry was created (Part 4).
+	From Kind
+	// To is the table the entry ended up in.
+	To Kind
+	// CacheEvicted is the entry demoted from the caching table into the
+	// multiple-table to make room, if any.
+	CacheEvicted *Entry
+	// MultipleEvicted is the entry demoted from the multiple-table onto
+	// the top of the single-table to make room, if any.
+	MultipleEvicted *Entry
+	// Dropped is the entry that fell off the bottom of the single-table,
+	// if any; the system forgets it entirely.
+	Dropped *Entry
+}
+
+// Update is the paper's Update_Entry(Object, Location) (Fig. 8), executed
+// at proxy-local logical time now. It finds the entry (caching, then
+// multiple, then single table), folds in the new access via CalcAverage,
+// rewrites the location, and applies the promotion rules:
+//
+//   - caching-table entries are updated in place (re-inserted in order);
+//   - multiple-table entries move into the caching table when their aged
+//     average beats the cache's worst case, demoting that worst case into
+//     the multiple-table;
+//   - single-table entries move into the multiple-table under the same
+//     rule, demoting the multiple-table's worst onto the single-table top;
+//   - unknown objects get a fresh entry on top of the single-table.
+//
+// A table that is not yet full accepts any candidate; a full table demands
+// the candidate beat its current worst entry, matching "newly arriving
+// objects have to have a lower average value than the worst case currently
+// residing in the table" (§III.3.2).
+func (t *Tables) Update(obj ids.ObjectID, loc ids.NodeID, now int64) Outcome {
+	if t.admitAll {
+		return t.updateLRU(obj, loc, now)
+	}
+
+	// Part 1: caching table.
+	if e := t.caching.Remove(obj); e != nil {
+		e.CalcAverage(now)
+		e.Location = loc
+		t.caching.Insert(e) // room is guaranteed: we just removed e
+		return Outcome{From: KindCaching, To: KindCaching}
+	}
+
+	// Part 2: multiple-table.
+	if e := t.multiple.Remove(obj); e != nil {
+		e.CalcAverage(now)
+		e.Location = loc
+		if t.admits(t.caching, e) {
+			out := Outcome{From: KindMultiple, To: KindCaching}
+			if evicted := t.caching.Insert(e); evicted != nil {
+				// The demoted worst returns to the
+				// multiple-table, which has room because e
+				// just left it.
+				t.multiple.Insert(evicted)
+				out.CacheEvicted = evicted
+			}
+			return out
+		}
+		t.multiple.Insert(e)
+		return Outcome{From: KindMultiple, To: KindMultiple}
+	}
+
+	// Part 3: single-table.
+	if e := t.single.Remove(obj); e != nil {
+		e.CalcAverage(now)
+		e.Location = loc
+		if t.admits(t.multiple, e) {
+			out := Outcome{From: KindSingle, To: KindMultiple}
+			if evicted := t.multiple.Insert(e); evicted != nil {
+				// The multiple-table's worst goes on top of
+				// the single-table (Fig. 8 Part 3); the
+				// single-table has room because e just left.
+				t.single.InsertTop(evicted)
+				out.MultipleEvicted = evicted
+			}
+			return out
+		}
+		dropped := t.single.InsertTop(e)
+		return Outcome{From: KindSingle, To: KindSingle, Dropped: dropped}
+	}
+
+	// Part 4: unknown object — new entry on top of the single-table.
+	e := NewEntry(obj, loc, now)
+	e.noAge = t.agingOff
+	dropped := t.single.InsertTop(e)
+	return Outcome{From: KindNone, To: KindSingle, Dropped: dropped}
+}
+
+// updateLRU is the CacheAdmitAll ablation: every passing object is cached
+// immediately with plain LRU replacement, no selectivity. The entry is
+// pulled from whichever table currently holds it so the usual bookkeeping
+// (average, location, single-occupancy invariant) still applies; evictions
+// land on top of the single-table so the proxy keeps routing knowledge.
+func (t *Tables) updateLRU(obj ids.ObjectID, loc ids.NodeID, now int64) Outcome {
+	from := KindCaching
+	e := t.caching.Remove(obj)
+	if e == nil {
+		if e = t.multiple.Remove(obj); e != nil {
+			from = KindMultiple
+		} else if e = t.single.Remove(obj); e != nil {
+			from = KindSingle
+		} else {
+			e = NewEntry(obj, loc, now)
+			e.noAge = t.agingOff
+			from = KindNone
+		}
+	}
+	if from != KindNone {
+		e.CalcAverage(now)
+		e.Location = loc
+	}
+	out := Outcome{From: from, To: KindCaching}
+	if evicted := t.caching.Insert(e); evicted != nil && evicted != e {
+		out.CacheEvicted = evicted
+		out.Dropped = t.single.InsertTop(evicted)
+	}
+	return out
+}
+
+// admits reports whether ordered table dst accepts candidate e: a table
+// with free space accepts anything; a full table demands the candidate beat
+// the worst resident (strictly smaller aged average, i.e. Key).
+func (t *Tables) admits(dst Ordered, e *Entry) bool {
+	if dst.Cap() == 0 {
+		return false
+	}
+	if dst.Len() < dst.Cap() {
+		return true
+	}
+	worst, ok := dst.WorstKey()
+	if !ok {
+		return true
+	}
+	return e.Key() < worst
+}
+
+// ForwardLocation resolves the forwarding address for obj from the mapping
+// tables (the paper's Forward_Addr, Fig. 6). ok is false when no table has
+// an entry, in which case the proxy falls back to random peer selection.
+func (t *Tables) ForwardLocation(obj ids.ObjectID) (ids.NodeID, bool) {
+	e, kind := t.Lookup(obj)
+	if kind == KindNone {
+		return ids.None, false
+	}
+	return e.Location, true
+}
+
+// Len returns the total number of entries across the three tables.
+func (t *Tables) Len() int {
+	return t.single.Len() + t.multiple.Len() + t.caching.Len()
+}

@@ -1,0 +1,143 @@
+// Package hierarchy implements the classic hierarchical caching baseline
+// (Squid-style parent/child trees; the paper's refs [20][21][27]): leaf
+// proxies forward misses to a shared parent, which forwards its misses to
+// the origin; every proxy on the reply path caches the object with LRU.
+//
+// ADC's §III positioning is that it "combines the advantages of
+// hierarchical distributed caching (allowing multiple copies of the same
+// object) and of hashing based distributed caching (fast allocation
+// through global agreement)". This package supplies the hierarchical
+// corner of that comparison: multiple copies, but every miss climbs the
+// tree and the parent is both a shared cache and a shared bottleneck.
+package hierarchy
+
+import (
+	"fmt"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/lru"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// Role distinguishes the two tiers.
+type Role int
+
+// Tree roles.
+const (
+	// Leaf proxies receive client requests.
+	Leaf Role = iota + 1
+	// Root is the shared parent; its misses go to the origin.
+	Root
+)
+
+// Proxy is one node of a two-level caching tree.
+type Proxy struct {
+	id     ids.NodeID
+	role   Role
+	parent ids.NodeID // root's parent is the origin
+	cache  *lru.Cache[ids.ObjectID, struct{}]
+	stats  metrics.ProxyStats
+}
+
+var _ sim.Node = (*Proxy)(nil)
+
+// Config assembles one tree node.
+type Config struct {
+	// ID is the node's proxy ID.
+	ID ids.NodeID
+	// Role selects leaf or root.
+	Role Role
+	// Parent is the next level up (the root for leaves; ignored for the
+	// root itself, whose parent is always the origin).
+	Parent ids.NodeID
+	// CacheSize bounds the local LRU cache.
+	CacheSize int
+}
+
+// New builds a tree node.
+func New(cfg Config) (*Proxy, error) {
+	if !cfg.ID.IsProxy() {
+		return nil, fmt.Errorf("hierarchy: %v is not a proxy ID", cfg.ID)
+	}
+	if cfg.Role != Leaf && cfg.Role != Root {
+		return nil, fmt.Errorf("hierarchy: invalid role %d", int(cfg.Role))
+	}
+	if cfg.CacheSize <= 0 {
+		return nil, fmt.Errorf("hierarchy: cache size must be positive, got %d", cfg.CacheSize)
+	}
+	parent := cfg.Parent
+	if cfg.Role == Root {
+		parent = ids.Origin
+	}
+	return &Proxy{
+		id:     cfg.ID,
+		role:   cfg.Role,
+		parent: parent,
+		cache:  lru.New[ids.ObjectID, struct{}](cfg.CacheSize),
+	}, nil
+}
+
+// ID implements sim.Node.
+func (p *Proxy) ID() ids.NodeID { return p.id }
+
+// Role returns the node's tier.
+func (p *Proxy) Role() Role { return p.role }
+
+// Stats snapshots the node's counters.
+func (p *Proxy) Stats() metrics.ProxyStats { return p.stats }
+
+// CacheLen returns the number of cached objects.
+func (p *Proxy) CacheLen() int { return p.cache.Len() }
+
+// Handle implements sim.Node.
+func (p *Proxy) Handle(ctx sim.Context, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.Request:
+		p.receiveRequest(ctx, t)
+	case *msg.Reply:
+		p.receiveReply(ctx, t)
+	}
+}
+
+func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
+	p.stats.Requests++
+	if _, ok := p.cache.Get(req.Object); ok {
+		// Hit: reply retraces the path down the tree so lower levels
+		// can refresh their recency (they already hold the object or
+		// will cache it on the way down).
+		p.stats.LocalHits++
+		rep := msg.ReplyTo(req)
+		rep.Resolver = p.id
+		rep.Cached = true
+		next, _ := rep.NextBackward()
+		rep.To = next
+		ctx.Send(rep)
+		return
+	}
+	// Miss: climb the tree ("every object will be passed down along the
+	// hierarchy from the root to the leaf proxy", §III.2).
+	p.stats.ForwardOrigin++
+	req.Sender = p.id
+	req.Path = append(req.Path, p.id)
+	req.To = p.parent
+	ctx.Send(req)
+}
+
+func (p *Proxy) receiveReply(ctx sim.Context, rep *msg.Reply) {
+	p.stats.RepliesSeen++
+	// Hierarchical proxies store every passing object (§III.4's
+	// characterisation), with LRU replacement.
+	if !p.cache.Contains(rep.Object) {
+		p.stats.CacheInsertions++
+		if p.cache.Put(rep.Object, struct{}{}) {
+			p.stats.CacheEvictions++
+		}
+	} else {
+		p.cache.Get(rep.Object) // refresh recency
+	}
+	next, _ := rep.NextBackward()
+	rep.To = next
+	ctx.Send(rep)
+}

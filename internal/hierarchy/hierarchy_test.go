@@ -1,0 +1,146 @@
+package hierarchy
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+func rig(t *testing.T, leaves, cacheSize int) (*sim.Engine, []*Proxy, *Proxy) {
+	t.Helper()
+	eng := sim.NewEngine()
+	rootID := ids.NodeID(leaves)
+	var leafNodes []*Proxy
+	for i := 0; i < leaves; i++ {
+		p, err := New(Config{ID: ids.NodeID(i), Role: Leaf, Parent: rootID, CacheSize: cacheSize})
+		if err != nil {
+			t.Fatal(err)
+		}
+		leafNodes = append(leafNodes, p)
+		if err := eng.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root, err := New(Config{ID: rootID, Role: Root, CacheSize: cacheSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(root); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(sim.NewOrigin()); err != nil {
+		t.Fatal(err)
+	}
+	return eng, leafNodes, root
+}
+
+type sink struct {
+	id      ids.NodeID
+	replies []*msg.Reply
+}
+
+func (s *sink) ID() ids.NodeID { return s.id }
+func (s *sink) Handle(_ sim.Context, m msg.Message) {
+	if rep, ok := m.(*msg.Reply); ok {
+		s.replies = append(s.replies, rep)
+	}
+}
+
+func send(t *testing.T, eng *sim.Engine, s *sink, to ids.NodeID, obj ids.ObjectID, counter uint64) *msg.Reply {
+	t.Helper()
+	eng.Send(&msg.Request{
+		To: to, ID: ids.NewRequestID(0, counter), Object: obj,
+		Client: s.id, Sender: s.id,
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return s.replies[len(s.replies)-1]
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{ID: ids.Origin, Role: Leaf, CacheSize: 4}); err == nil {
+		t.Error("non-proxy ID must fail")
+	}
+	if _, err := New(Config{ID: 0, Role: Role(9), CacheSize: 4}); err == nil {
+		t.Error("bad role must fail")
+	}
+	if _, err := New(Config{ID: 0, Role: Leaf}); err == nil {
+		t.Error("zero cache must fail")
+	}
+}
+
+func TestMissClimbsTreeAndPopulatesBothLevels(t *testing.T) {
+	eng, leaves, root := rig(t, 2, 8)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	rep := send(t, eng, s, 0, 42, 1)
+	if !rep.FromOrigin {
+		t.Error("first request must come from the origin")
+	}
+	// client→leaf, leaf→root, root→origin + reply legs = 6 hops.
+	if rep.Hops != 6 {
+		t.Errorf("miss hops = %d, want 6", rep.Hops)
+	}
+	if leaves[0].CacheLen() != 1 || root.CacheLen() != 1 {
+		t.Error("both the leaf and the root must cache the passing object")
+	}
+	if leaves[1].CacheLen() != 0 {
+		t.Error("the other leaf must not cache")
+	}
+}
+
+func TestLeafHitIsTwoHops(t *testing.T) {
+	eng, _, _ := rig(t, 2, 8)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	send(t, eng, s, 0, 7, 1)
+	rep := send(t, eng, s, 0, 7, 2)
+	if rep.FromOrigin || rep.Hops != 2 {
+		t.Errorf("leaf hit = origin:%v hops:%d, want hit with 2", rep.FromOrigin, rep.Hops)
+	}
+}
+
+func TestSiblingBenefitsFromSharedParent(t *testing.T) {
+	// The whole point of a hierarchy: leaf 1's miss is leaf 0's
+	// earlier fetch, served by the shared root at 4 hops.
+	eng, leaves, _ := rig(t, 2, 8)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	send(t, eng, s, 0, 7, 1)
+	rep := send(t, eng, s, 1, 7, 2)
+	if rep.FromOrigin {
+		t.Error("sibling request must hit the shared parent")
+	}
+	if rep.Hops != 4 {
+		t.Errorf("parent hit hops = %d, want 4", rep.Hops)
+	}
+	if leaves[1].CacheLen() != 1 {
+		t.Error("second leaf must cache the passing object")
+	}
+}
+
+func TestLRUChurnBounded(t *testing.T) {
+	eng, leaves, root := rig(t, 1, 4)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(1); i <= 50; i++ {
+		send(t, eng, s, 0, ids.ObjectID(i), i)
+	}
+	if leaves[0].CacheLen() > 4 || root.CacheLen() > 4 {
+		t.Error("cache bounds violated")
+	}
+	if leaves[0].Stats().CacheEvictions == 0 {
+		t.Error("no evictions under churn")
+	}
+}

@@ -1,0 +1,383 @@
+// Package httpproxy is a real HTTP proxy system built on the ADC
+// algorithm — the paper's first future-work item ("the creation of a real
+// proxy system based on the freely available Squid server", §VI), realised
+// with net/http instead of Squid.
+//
+// Each proxy is an HTTP server; clients GET /obj/<id> from any proxy.
+// Unlike the simulator (which, like the paper's testbed, "will not cache
+// and transfer the actual objects data", §V.1), this farm moves real
+// payload bytes: the caching table governs which payloads a proxy stores.
+//
+// HTTP's call stack plays the role of the backwarding path: a proxy that
+// cannot resolve a request forwards it upstream with an http.Client call,
+// and the response naturally retraces the chain of waiting handlers, each
+// of which updates its mapping tables exactly as Receive_Reply does
+// (Fig. 7). The ADC metadata travels in headers:
+//
+//	X-ADC-Request-ID   globally unique ID, for loop detection
+//	X-ADC-Forwards     number of proxy forwards so far (max-hops bound)
+//	X-ADC-Resolver     the agreed location (empty = origin data)
+//	X-ADC-Cached       set once some proxy on the chain stores the object
+//	X-ADC-Origin       marks payloads produced by the origin server
+package httpproxy
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+)
+
+// Header names of the ADC-over-HTTP protocol.
+const (
+	HeaderRequestID = "X-Adc-Request-Id"
+	HeaderForwards  = "X-Adc-Forwards"
+	HeaderResolver  = "X-Adc-Resolver"
+	HeaderCached    = "X-Adc-Cached"
+	HeaderOrigin    = "X-Adc-Origin"
+)
+
+// objPathPrefix is the URL prefix objects are served under.
+const objPathPrefix = "/obj/"
+
+// parseObjectPath extracts the object ID from /obj/<id>.
+func parseObjectPath(path string) (ids.ObjectID, error) {
+	rest, ok := strings.CutPrefix(path, objPathPrefix)
+	if !ok {
+		return 0, fmt.Errorf("httpproxy: path %q not under %s", path, objPathPrefix)
+	}
+	v, err := strconv.ParseUint(rest, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("httpproxy: bad object id %q: %w", rest, err)
+	}
+	return ids.ObjectID(v), nil
+}
+
+// Origin is the HTTP origin server: it can produce any object. Payloads
+// are deterministic functions of the object ID so tests can verify
+// end-to-end integrity through the proxy chain.
+type Origin struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu       sync.Mutex
+	resolved uint64
+}
+
+// Payload returns the canonical payload of an object.
+func Payload(obj ids.ObjectID) []byte {
+	return []byte(fmt.Sprintf("object %d body: %x", uint64(obj), uint64(obj)*0x9E3779B97F4A7C15))
+}
+
+// NewOrigin starts an origin server on a loopback port.
+func NewOrigin() (*Origin, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpproxy: origin listen: %w", err)
+	}
+	o := &Origin{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc(objPathPrefix, o.handle)
+	o.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go o.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+	return o, nil
+}
+
+// URL returns the origin's base URL.
+func (o *Origin) URL() string { return "http://" + o.ln.Addr().String() }
+
+// Resolved returns how many requests the origin answered.
+func (o *Origin) Resolved() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.resolved
+}
+
+// Close shuts the origin down.
+func (o *Origin) Close() error { return o.srv.Close() }
+
+func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
+	obj, err := parseObjectPath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	o.mu.Lock()
+	o.resolved++
+	o.mu.Unlock()
+	w.Header().Set(HeaderOrigin, "1")
+	if _, err := w.Write(Payload(obj)); err != nil {
+		return // client went away; nothing to do
+	}
+}
+
+// Proxy is one ADC agent speaking HTTP. Handlers may run concurrently;
+// the mapping tables and payload store are guarded by mu, which is never
+// held across an upstream fetch (holding it would deadlock on forwarding
+// loops, where the same proxy serves two requests of one chain).
+type Proxy struct {
+	id      ids.NodeID
+	ln      net.Listener
+	srv     *http.Server
+	client  *http.Client
+	origin  string
+	maxHops int
+
+	mu        sync.Mutex
+	tables    *core.Tables
+	store     map[ids.ObjectID][]byte
+	pending   map[string]int
+	rng       *rand.Rand
+	peers     []ids.NodeID
+	peerURL   map[ids.NodeID]string
+	localTime int64
+	stats     metrics.ProxyStats
+}
+
+// Config assembles one HTTP proxy.
+type Config struct {
+	// ID is the proxy's node ID.
+	ID ids.NodeID
+	// Tables sizes the mapping tables.
+	Tables core.Config
+	// OriginURL is the origin server's base URL.
+	OriginURL string
+	// MaxHops bounds proxy forwarding (0 = unbounded).
+	MaxHops int
+	// Seed drives the random peer selection.
+	Seed int64
+}
+
+// NewProxy starts a proxy on a loopback port. Peers are introduced later
+// via SetPeers (all proxies must exist before addresses are known).
+func NewProxy(cfg Config) (*Proxy, error) {
+	tables, err := core.NewTables(cfg.Tables)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("httpproxy: proxy %v listen: %w", cfg.ID, err)
+	}
+	p := &Proxy{
+		id:      cfg.ID,
+		ln:      ln,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		origin:  cfg.OriginURL,
+		maxHops: cfg.MaxHops,
+		tables:  tables,
+		store:   make(map[ids.ObjectID][]byte),
+		pending: make(map[string]int),
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x1F3B)),
+		peerURL: make(map[ids.NodeID]string),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc(objPathPrefix, p.handle)
+	p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go p.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+	return p, nil
+}
+
+// URL returns the proxy's base URL.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// ID returns the proxy's node ID.
+func (p *Proxy) ID() ids.NodeID { return p.id }
+
+// SetPeers installs the full peer address book (including this proxy).
+func (p *Proxy) SetPeers(urls map[ids.NodeID]string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.peers = p.peers[:0]
+	for id := range urls {
+		p.peers = append(p.peers, id)
+	}
+	// Deterministic order for the random selection.
+	for i := 1; i < len(p.peers); i++ {
+		for j := i; j > 0 && p.peers[j] < p.peers[j-1]; j-- {
+			p.peers[j], p.peers[j-1] = p.peers[j-1], p.peers[j]
+		}
+	}
+	p.peerURL = urls
+}
+
+// Stats snapshots the proxy's counters.
+func (p *Proxy) Stats() metrics.ProxyStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// CacheLen returns the number of stored payloads.
+func (p *Proxy) CacheLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.store)
+}
+
+// Close shuts the proxy down.
+func (p *Proxy) Close() error { return p.srv.Close() }
+
+// handle is Receive_Request (Fig. 5) over HTTP.
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	obj, err := parseObjectPath(r.URL.Path)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	reqID := r.Header.Get(HeaderRequestID)
+	if reqID == "" {
+		http.Error(w, "missing "+HeaderRequestID, http.StatusBadRequest)
+		return
+	}
+	forwards, _ := strconv.Atoi(r.Header.Get(HeaderForwards))
+
+	// Decide under the lock: local hit, or where to forward.
+	p.mu.Lock()
+	p.localTime++
+	p.stats.Requests++
+	if payload, ok := p.store[obj]; ok {
+		p.stats.LocalHits++
+		p.tables.Update(obj, p.id, p.localTime)
+		p.mu.Unlock()
+		w.Header().Set(HeaderResolver, p.id.String())
+		w.Header().Set(HeaderCached, "1")
+		_, _ = w.Write(payload)
+		return
+	}
+	looped := p.pending[reqID] > 0
+	atMax := p.maxHops > 0 && forwards >= p.maxHops
+	p.pending[reqID]++
+	var upstream string
+	switch {
+	case looped, atMax:
+		if looped {
+			p.stats.LoopsDetected++
+		}
+		p.stats.ForwardOrigin++
+		upstream = p.origin
+	default:
+		upstream = p.forwardAddrLocked(obj)
+	}
+	p.mu.Unlock()
+
+	// Upstream fetch outside the lock (the chain may revisit us).
+	body, hdr, status, err := p.fetch(upstream, obj, reqID, forwards+1)
+
+	p.mu.Lock()
+	// Retire the stored backwarding pass.
+	if n := p.pending[reqID]; n > 1 {
+		p.pending[reqID] = n - 1
+	} else {
+		delete(p.pending, reqID)
+	}
+	if err != nil || status != http.StatusOK {
+		p.mu.Unlock()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		http.Error(w, "upstream status", status)
+		return
+	}
+
+	// Receive_Reply (Fig. 7): claim the resolver slot for origin data,
+	// learn the location, cache if the tables promote the object.
+	p.stats.RepliesSeen++
+	resolver := parseNodeID(hdr.Get(HeaderResolver))
+	if resolver == ids.None {
+		resolver = p.id
+	}
+	out := p.tables.Update(obj, resolver, p.localTime)
+	if out.To == core.KindCaching {
+		if out.From != core.KindCaching {
+			p.stats.CacheInsertions++
+		}
+		p.store[obj] = body
+	}
+	if out.CacheEvicted != nil {
+		p.stats.CacheEvictions++
+		delete(p.store, out.CacheEvicted.Object)
+	}
+	cached := hdr.Get(HeaderCached) == "1"
+	if !cached {
+		if _, stillCached := p.store[obj]; stillCached {
+			resolver = p.id
+			cached = true
+		}
+	}
+	p.mu.Unlock()
+
+	w.Header().Set(HeaderResolver, resolver.String())
+	if cached {
+		w.Header().Set(HeaderCached, "1")
+	}
+	if hdr.Get(HeaderOrigin) == "1" {
+		w.Header().Set(HeaderOrigin, "1")
+	}
+	_, _ = w.Write(body)
+}
+
+// forwardAddrLocked is Forward_Addr (Fig. 6); p.mu must be held.
+func (p *Proxy) forwardAddrLocked(obj ids.ObjectID) string {
+	if loc, ok := p.tables.ForwardLocation(obj); ok {
+		if loc == p.id {
+			p.stats.ForwardOrigin++
+			return p.origin
+		}
+		if url, known := p.peerURL[loc]; known {
+			p.stats.ForwardLearned++
+			return url
+		}
+	}
+	p.stats.ForwardRandom++
+	peer := p.peers[p.rng.Intn(len(p.peers))]
+	return p.peerURL[peer]
+}
+
+// fetch issues the upstream GET carrying the ADC headers.
+func (p *Proxy) fetch(base string, obj ids.ObjectID, reqID string, forwards int) ([]byte, http.Header, int, error) {
+	req, err := http.NewRequest(http.MethodGet, base+objPathPrefix+strconv.FormatUint(uint64(obj), 10), nil)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("httpproxy: build upstream request: %w", err)
+	}
+	req.Header.Set(HeaderRequestID, reqID)
+	req.Header.Set(HeaderForwards, strconv.Itoa(forwards))
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("httpproxy: upstream fetch: %w", err)
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("httpproxy: read upstream body: %w", err)
+	}
+	return body, resp.Header, resp.StatusCode, nil
+}
+
+// parseNodeID reverses ids.NodeID.String for proxy IDs; anything else
+// (empty, "Origin") maps to None.
+func parseNodeID(s string) ids.NodeID {
+	rest, ok := strings.CutPrefix(s, "Proxy[")
+	if !ok {
+		return ids.None
+	}
+	rest, ok = strings.CutSuffix(rest, "]")
+	if !ok {
+		return ids.None
+	}
+	v, err := strconv.Atoi(rest)
+	if err != nil || v < 0 {
+		return ids.None
+	}
+	return ids.NodeID(v)
+}

@@ -1,0 +1,101 @@
+package ids
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNodeIDClassification(t *testing.T) {
+	cases := []struct {
+		n        NodeID
+		isProxy  bool
+		isClient bool
+	}{
+		{0, true, false},
+		{7, true, false},
+		{None, false, false},
+		{Origin, false, false},
+		{Client(0), false, true},
+		{Client(5), false, true},
+	}
+	for _, tc := range cases {
+		if got := tc.n.IsProxy(); got != tc.isProxy {
+			t.Errorf("%v.IsProxy() = %v", tc.n, got)
+		}
+		if got := tc.n.IsClient(); got != tc.isClient {
+			t.Errorf("%v.IsClient() = %v", tc.n, got)
+		}
+	}
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		n := Client(i)
+		if !n.IsClient() {
+			t.Fatalf("Client(%d) = %v not a client", i, n)
+		}
+		if got := n.ClientIndex(); got != i {
+			t.Fatalf("ClientIndex = %d, want %d", got, i)
+		}
+	}
+}
+
+func TestClientIndexPanicsOnNonClient(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ClientIndex on a proxy must panic")
+		}
+	}()
+	NodeID(3).ClientIndex()
+}
+
+func TestNodeIDStrings(t *testing.T) {
+	cases := map[NodeID]string{
+		None:      "None",
+		Origin:    "Origin",
+		0:         "Proxy[0]",
+		12:        "Proxy[12]",
+		Client(0): "Client[0]",
+		Client(3): "Client[3]",
+	}
+	for n, want := range cases {
+		if got := n.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int32(n), got, want)
+		}
+	}
+}
+
+func TestObjectIDString(t *testing.T) {
+	if got := ObjectID(634).String(); got != "www.xy634" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRequestIDPacking(t *testing.T) {
+	prop := func(client uint8, counter uint32) bool {
+		r := NewRequestID(int(client), uint64(counter))
+		return r.ClientIndex() == int(client) && r.Counter() == uint64(counter)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequestIDUniqueAcrossClients(t *testing.T) {
+	seen := make(map[RequestID]bool)
+	for c := 0; c < 8; c++ {
+		for n := uint64(0); n < 100; n++ {
+			id := NewRequestID(c, n)
+			if seen[id] {
+				t.Fatalf("duplicate request ID %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestRequestIDString(t *testing.T) {
+	if got := NewRequestID(2, 7).String(); got != "req(2:7)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,137 @@
+package lru
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGetPut(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Error("Get on empty cache must miss")
+	}
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Errorf("Get(a) = %d,%v", v, ok)
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Errorf("Len/Cap = %d/%d", c.Len(), c.Cap())
+	}
+}
+
+func TestEvictionOrder(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Get(1)          // 1 is now most recent
+	if !c.Put(3, 3) { // must evict 2
+		t.Error("Put into full cache must report eviction")
+	}
+	if c.Contains(2) {
+		t.Error("2 should have been evicted")
+	}
+	if !c.Contains(1) || !c.Contains(3) {
+		t.Error("1 and 3 should remain")
+	}
+}
+
+func TestPutUpdatesExisting(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "x")
+	if evicted := c.Put(1, "y"); evicted {
+		t.Error("updating in place must not evict")
+	}
+	if v, _ := c.Get(1); v != "y" {
+		t.Errorf("value = %q, want y", v)
+	}
+	if c.Len() != 1 {
+		t.Errorf("Len = %d, want 1", c.Len())
+	}
+}
+
+func TestPeekDoesNotPromote(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Peek(1)
+	c.Put(3, 3)
+	if c.Contains(1) {
+		t.Error("Peek must not refresh recency; 1 should be evicted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	if !c.Remove(1) {
+		t.Error("Remove existing = false")
+	}
+	if c.Remove(1) {
+		t.Error("Remove absent = true")
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d, want 0", c.Len())
+	}
+}
+
+func TestRemoveOldest(t *testing.T) {
+	c := New[int, int](3)
+	if _, _, ok := c.RemoveOldest(); ok {
+		t.Error("RemoveOldest on empty cache must report !ok")
+	}
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Get(1)
+	k, v, ok := c.RemoveOldest()
+	if !ok || k != 2 || v != 20 {
+		t.Errorf("RemoveOldest = %d,%d,%v, want 2,20,true", k, v, ok)
+	}
+}
+
+func TestOnEvict(t *testing.T) {
+	var evicted []int
+	c := New[int, int](1)
+	c.OnEvict(func(k, _ int) { evicted = append(evicted, k) })
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.RemoveOldest()
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Errorf("evicted = %v, want [1 2]", evicted)
+	}
+}
+
+func TestKeysMostRecentFirst(t *testing.T) {
+	c := New[int, int](3)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	c.Put(3, 3)
+	c.Get(1)
+	keys := c.Keys()
+	want := []int{1, 3, 2}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Keys() = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestNeverExceedsCapacity(t *testing.T) {
+	prop := func(keys []uint8, capSeed uint8) bool {
+		capacity := int(capSeed%7) + 1
+		c := New[uint8, int](capacity)
+		for i, k := range keys {
+			c.Put(k, i)
+			if c.Len() > capacity {
+				return false
+			}
+			if v, ok := c.Get(k); !ok || v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}

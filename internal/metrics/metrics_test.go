@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestCollectorCounts(t *testing.T) {
+	c := NewCollector(metricsTestOpts()...)
+	c.Record(true, 4, 1)
+	c.Record(false, 6, 2)
+	c.Record(true, 2, 0)
+	if c.Requests() != 3 || c.Hits() != 2 {
+		t.Errorf("requests/hits = %d/%d", c.Requests(), c.Hits())
+	}
+	if got := c.CumHitRate(); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("CumHitRate = %v", got)
+	}
+	if got := c.CumHops(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("CumHops = %v", got)
+	}
+	if got := c.MeanPathLen(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("MeanPathLen = %v", got)
+	}
+}
+
+func metricsTestOpts() []Option {
+	return []Option{WithWindow(2), WithSampleEvery(2)}
+}
+
+func TestCollectorWindow(t *testing.T) {
+	c := NewCollector(WithWindow(2), WithSampleEvery(0))
+	c.Record(true, 1, 0)
+	c.Record(true, 1, 0)
+	c.Record(false, 1, 0)
+	// Window of 2 now holds {hit, miss}.
+	if got := c.WindowHitRate(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("WindowHitRate = %v, want 0.5", got)
+	}
+}
+
+func TestCollectorSeries(t *testing.T) {
+	c := NewCollector(WithWindow(10), WithSampleEvery(2))
+	for i := 0; i < 6; i++ {
+		c.Record(i%2 == 0, 3, 1)
+	}
+	series := c.Series()
+	if len(series) != 3 {
+		t.Fatalf("series length = %d, want 3", len(series))
+	}
+	for i, p := range series {
+		if p.Requests != uint64(2*(i+1)) {
+			t.Errorf("sample %d at %d requests", i, p.Requests)
+		}
+		if p.Hops != 3 || p.CumHops != 3 {
+			t.Errorf("sample %d hops = %v/%v", i, p.Hops, p.CumHops)
+		}
+	}
+}
+
+func TestCollectorSeriesDisabled(t *testing.T) {
+	c := NewCollector(WithSampleEvery(0))
+	for i := 0; i < 100; i++ {
+		c.Record(true, 1, 1)
+	}
+	if len(c.Series()) != 0 {
+		t.Error("series must be empty when sampling is disabled")
+	}
+}
+
+func TestCollectorElapsed(t *testing.T) {
+	c := NewCollector()
+	c.Start()
+	time.Sleep(time.Millisecond)
+	c.Stop()
+	if c.Elapsed() <= 0 {
+		t.Error("Elapsed must be positive after Start/Stop")
+	}
+}
+
+func TestSummarySnapshot(t *testing.T) {
+	c := NewCollector(WithSampleEvery(0))
+	c.Record(true, 4, 2)
+	c.Record(false, 8, 4)
+	s := c.Summary()
+	if s.Requests != 2 || s.Hits != 1 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.HitRate-0.5) > 1e-12 || math.Abs(s.Hops-6) > 1e-12 || math.Abs(s.PathLen-3) > 1e-12 {
+		t.Errorf("summary rates = %+v", s)
+	}
+}
+
+func TestHopsHistogram(t *testing.T) {
+	c := NewCollector(WithSampleEvery(0))
+	c.Record(true, 2, 1)
+	c.Record(true, 2, 1)
+	c.Record(false, 5, 2)
+	h := c.HopsHistogram()
+	if h.Total() != 3 || h.Count(2) != 2 || h.Count(5) != 1 {
+		t.Errorf("histogram = %v", h.Buckets())
+	}
+}
+
+func TestProxyStatsAddAndRate(t *testing.T) {
+	a := ProxyStats{Requests: 10, LocalHits: 4, ForwardRandom: 3}
+	b := ProxyStats{Requests: 30, LocalHits: 6, LoopsDetected: 2}
+	a.Add(b)
+	if a.Requests != 40 || a.LocalHits != 10 || a.ForwardRandom != 3 || a.LoopsDetected != 2 {
+		t.Errorf("merged = %+v", a)
+	}
+	if got := a.LocalHitRate(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("LocalHitRate = %v", got)
+	}
+	var zero ProxyStats
+	if zero.LocalHitRate() != 0 {
+		t.Error("zero stats hit rate must be 0")
+	}
+}

@@ -1,0 +1,57 @@
+package metrics
+
+// ProxyStats counts the per-proxy events the cluster report aggregates:
+// how many requests each agent saw, how often its own cache answered, and
+// how its forwarding decisions were made. These feed the load-balance checks
+// in the integration tests (self-organization should spread load roughly
+// evenly, §I).
+type ProxyStats struct {
+	// Requests is the number of requests the proxy received.
+	Requests uint64
+
+	// LocalHits is the number of requests answered from the local cache.
+	LocalHits uint64
+
+	// ForwardLearned counts forwards that used a mapping-table entry.
+	ForwardLearned uint64
+
+	// ForwardRandom counts forwards that fell back to random selection.
+	ForwardRandom uint64
+
+	// ForwardOrigin counts forwards to the origin server (loops, hop
+	// bound, or THIS-entries whose object is not cached locally).
+	ForwardOrigin uint64
+
+	// LoopsDetected counts requests that arrived while already pending.
+	LoopsDetected uint64
+
+	// RepliesSeen counts backwarding replies that passed through.
+	RepliesSeen uint64
+
+	// CacheInsertions counts promotions into the caching table.
+	CacheInsertions uint64
+
+	// CacheEvictions counts demotions out of the caching table.
+	CacheEvictions uint64
+}
+
+// Add accumulates other into s, for cluster-wide totals.
+func (s *ProxyStats) Add(other ProxyStats) {
+	s.Requests += other.Requests
+	s.LocalHits += other.LocalHits
+	s.ForwardLearned += other.ForwardLearned
+	s.ForwardRandom += other.ForwardRandom
+	s.ForwardOrigin += other.ForwardOrigin
+	s.LoopsDetected += other.LoopsDetected
+	s.RepliesSeen += other.RepliesSeen
+	s.CacheInsertions += other.CacheInsertions
+	s.CacheEvictions += other.CacheEvictions
+}
+
+// LocalHitRate returns LocalHits/Requests for this proxy.
+func (s *ProxyStats) LocalHitRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.LocalHits) / float64(s.Requests)
+}

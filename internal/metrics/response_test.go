@@ -1,0 +1,32 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRecordResponse(t *testing.T) {
+	c := NewCollector(WithSampleEvery(0))
+	for _, v := range []int64{100, 200, 300} {
+		c.RecordResponse(v)
+	}
+	if got := c.Response().Mean(); math.Abs(got-200) > 1e-12 {
+		t.Errorf("mean response = %v, want 200", got)
+	}
+	if got := c.Response().Max(); got != 300 {
+		t.Errorf("max response = %v, want 300", got)
+	}
+	s := c.Summary()
+	if math.Abs(s.MeanResponse-200) > 1e-12 || s.MaxResponse != 300 {
+		t.Errorf("summary response = %v/%v", s.MeanResponse, s.MaxResponse)
+	}
+}
+
+func TestSummaryWithoutResponses(t *testing.T) {
+	c := NewCollector(WithSampleEvery(0))
+	c.Record(true, 2, 1)
+	s := c.Summary()
+	if s.MeanResponse != 0 || s.MaxResponse != 0 {
+		t.Errorf("response fields must be zero without virtual time: %+v", s)
+	}
+}

@@ -1,0 +1,83 @@
+package msg
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+func TestAtMaxHops(t *testing.T) {
+	r := &Request{MaxHops: 2}
+	if r.AtMaxHops() {
+		t.Error("empty path must not be at max hops")
+	}
+	r.Path = []ids.NodeID{1, 2}
+	if !r.AtMaxHops() {
+		t.Error("path at bound must report max hops")
+	}
+	unbounded := &Request{MaxHops: 0, Path: make([]ids.NodeID, 100)}
+	if unbounded.AtMaxHops() {
+		t.Error("MaxHops 0 must mean unbounded (the paper's setting)")
+	}
+}
+
+func TestReplyToCopiesIdentity(t *testing.T) {
+	req := &Request{
+		ID:     ids.NewRequestID(1, 2),
+		Object: 9,
+		Client: ids.Client(1),
+		Path:   []ids.NodeID{3, 4},
+		Hops:   5,
+	}
+	rep := ReplyTo(req)
+	if rep.ID != req.ID || rep.Object != req.Object || rep.Client != req.Client {
+		t.Errorf("identity not copied: %+v", rep)
+	}
+	if rep.Resolver != ids.None {
+		t.Errorf("resolver must start as None (the paper's NULL), got %v", rep.Resolver)
+	}
+	if rep.Hops != 5 || rep.PathLen != 2 {
+		t.Errorf("hops/pathlen = %d/%d", rep.Hops, rep.PathLen)
+	}
+}
+
+func TestNextBackwardWalksPathInReverse(t *testing.T) {
+	rep := &Reply{Client: ids.Client(0), Path: []ids.NodeID{1, 2, 3}}
+	want := []ids.NodeID{3, 2, 1}
+	for _, w := range want {
+		next, onPath := rep.NextBackward()
+		if !onPath || next != w {
+			t.Fatalf("NextBackward = %v,%v, want %v,true", next, onPath, w)
+		}
+	}
+	next, onPath := rep.NextBackward()
+	if onPath || next != ids.Client(0) {
+		t.Errorf("exhausted path must return the client, got %v,%v", next, onPath)
+	}
+}
+
+func TestNextBackwardDuplicatePath(t *testing.T) {
+	// Loops put the same proxy on the path twice; backwarding must
+	// visit it twice (§III.1).
+	rep := &Reply{Client: ids.Client(0), Path: []ids.NodeID{1, 2, 1}}
+	seq := []ids.NodeID{}
+	for {
+		next, onPath := rep.NextBackward()
+		if !onPath {
+			break
+		}
+		seq = append(seq, next)
+	}
+	if len(seq) != 3 || seq[0] != 1 || seq[1] != 2 || seq[2] != 1 {
+		t.Errorf("backward sequence = %v, want [1 2 1]", seq)
+	}
+}
+
+func TestDest(t *testing.T) {
+	if (&Request{To: 4}).Dest() != 4 {
+		t.Error("request Dest wrong")
+	}
+	if (&Reply{To: ids.Origin}).Dest() != ids.Origin {
+		t.Error("reply Dest wrong")
+	}
+}

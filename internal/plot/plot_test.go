@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, "x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{0.5, 1.5}},
+		Series{Name: "b", X: []float64{1, 2}, Y: []float64{3, 4}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,0.5,3\n2,1.5,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVEscapes(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteCSV(&buf, `x,label`,
+		Series{Name: `he said "hi"`, X: []float64{1}, Y: []float64{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"x,label"`) || !strings.Contains(out, `"he said ""hi"""`) {
+		t.Errorf("escaping wrong: %q", out)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, "x"); err == nil {
+		t.Error("no series must fail")
+	}
+	err := WriteCSV(&buf, "x",
+		Series{Name: "a", X: []float64{1, 2}, Y: []float64{1}})
+	if err == nil {
+		t.Error("mismatched lengths must fail")
+	}
+}
+
+func TestRenderASCIIBasics(t *testing.T) {
+	out := RenderASCII("title", 40, 8,
+		Series{Name: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}})
+	if !strings.Contains(out, "title") || !strings.Contains(out, "up") {
+		t.Errorf("missing labels:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + legend + 8 rows + axis + x labels.
+	if len(lines) != 12 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// The rising series must put a mark in the top row (max) and the
+	// bottom data row (min).
+	if !strings.Contains(lines[2], "*") {
+		t.Errorf("no mark in top row:\n%s", out)
+	}
+	if !strings.Contains(lines[9], "*") {
+		t.Errorf("no mark in bottom row:\n%s", out)
+	}
+}
+
+func TestRenderASCIIEmpty(t *testing.T) {
+	out := RenderASCII("empty", 40, 8)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart = %q", out)
+	}
+}
+
+func TestRenderASCIIConstantSeries(t *testing.T) {
+	// A flat line must not divide by zero.
+	out := RenderASCII("flat", 20, 5,
+		Series{Name: "c", X: []float64{0, 1}, Y: []float64{2, 2}})
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series not drawn:\n%s", out)
+	}
+}
+
+func TestRenderASCIIMultipleMarkers(t *testing.T) {
+	out := RenderASCII("two", 30, 6,
+		Series{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+		Series{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Errorf("markers missing:\n%s", out)
+	}
+}

@@ -1,0 +1,225 @@
+// Package proxy implements the ADC proxy agent: the event handlers of the
+// paper's §IV (Receive_Request, Fig. 5; Forward_Addr, Fig. 6;
+// Receive_Reply, Fig. 7) on top of the mapping tables of internal/core.
+//
+// Each proxy is an autonomous agent: it owns its tables, its pending-request
+// set, its random generator and its logical clock, and interacts with the
+// rest of the system exclusively through messages. "The algorithm for ADC
+// is implemented in every running proxy with an equal setting without any
+// further modifications or fine-tuning" (§IV).
+package proxy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// Config assembles one ADC proxy.
+type Config struct {
+	// ID is the proxy's node ID (0-based).
+	ID ids.NodeID
+	// Peers lists every proxy in the system including this one; random
+	// forwarding selects "over the set of known proxies including
+	// itself" (Fig. 6).
+	Peers []ids.NodeID
+	// Tables sizes the three mapping tables.
+	Tables core.Config
+	// Seed derives the proxy's private random stream. Two proxies in
+	// one cluster receive different streams (the cluster XORs the ID in).
+	Seed int64
+}
+
+// ADC is one Adaptive Distributed Caching proxy agent.
+type ADC struct {
+	id     ids.NodeID
+	peers  []ids.NodeID
+	tables *core.Tables
+	rng    *rand.Rand
+
+	// localTime is "the counter for the received requests [which]
+	// represents the local clock of the proxy" (§IV.1).
+	localTime int64
+
+	// pending counts, per in-flight request ID, how many times this
+	// proxy has forwarded it and not yet seen the reply pass back. A
+	// request arriving while pending is a loop (§III.1). Counts (not
+	// booleans) handle self-forwarding, where the same proxy legally
+	// appears twice on the path.
+	pending map[ids.RequestID]int
+
+	stats metrics.ProxyStats
+}
+
+var _ sim.Node = (*ADC)(nil)
+
+// New builds an ADC proxy.
+func New(cfg Config) (*ADC, error) {
+	if !cfg.ID.IsProxy() {
+		return nil, fmt.Errorf("proxy: %v is not a proxy ID", cfg.ID)
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("proxy: peer set must not be empty")
+	}
+	tables, err := core.NewTables(cfg.Tables)
+	if err != nil {
+		return nil, fmt.Errorf("proxy %v: %w", cfg.ID, err)
+	}
+	peers := make([]ids.NodeID, len(cfg.Peers))
+	copy(peers, cfg.Peers)
+	return &ADC{
+		id:      cfg.ID,
+		peers:   peers,
+		tables:  tables,
+		rng:     rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x9E3779B9)),
+		pending: make(map[ids.RequestID]int),
+	}, nil
+}
+
+// ID implements sim.Node.
+func (p *ADC) ID() ids.NodeID { return p.id }
+
+// AddPeer introduces a newly joined proxy to the random-forwarding peer
+// set (infrastructure growth, the paper's unused §V.1 parameter). The
+// proxy needs no other state: its mapping tables learn the newcomer's
+// objects through ordinary backwarding. Safe only between messages —
+// i.e. from the sequential engine's driving thread.
+func (p *ADC) AddPeer(id ids.NodeID) {
+	for _, q := range p.peers {
+		if q == id {
+			return
+		}
+	}
+	p.peers = append(p.peers, id)
+}
+
+// Tables exposes the mapping tables for dumps, tests and metrics.
+func (p *ADC) Tables() *core.Tables { return p.tables }
+
+// Stats returns a snapshot of the proxy's counters.
+func (p *ADC) Stats() metrics.ProxyStats { return p.stats }
+
+// LocalTime returns the proxy's logical clock.
+func (p *ADC) LocalTime() int64 { return p.localTime }
+
+// PendingLen returns the number of in-flight forwarded requests (tests
+// assert it drains to zero — invariant 4 of DESIGN.md §7).
+func (p *ADC) PendingLen() int { return len(p.pending) }
+
+// Handle implements sim.Node.
+func (p *ADC) Handle(ctx sim.Context, m msg.Message) {
+	switch t := m.(type) {
+	case *msg.Request:
+		p.receiveRequest(ctx, t)
+	case *msg.Reply:
+		p.receiveReply(ctx, t)
+	}
+}
+
+// receiveRequest is the paper's Receive_Request() (Fig. 5).
+func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
+	p.localTime++
+	p.stats.Requests++
+
+	if p.tables.IsCached(req.Object) {
+		// Local hit: update the entry to point at ourselves and
+		// start backwarding immediately.
+		p.stats.LocalHits++
+		p.recordOutcome(p.tables.Update(req.Object, p.id, p.localTime))
+		rep := msg.ReplyTo(req)
+		rep.Resolver = p.id
+		rep.Cached = true
+		next, _ := rep.NextBackward()
+		rep.To = next
+		ctx.Send(rep)
+		return
+	}
+
+	// Miss: loop detection looks at the state before this arrival, then
+	// Store_Backwarding registers the pass so the reply can retrace it.
+	looped := p.pending[req.ID] > 0
+	atMax := req.AtMaxHops()
+	p.pending[req.ID]++
+	req.Path = append(req.Path, p.id)
+	req.Sender = p.id
+
+	if looped || atMax {
+		if looped {
+			p.stats.LoopsDetected++
+		}
+		p.stats.ForwardOrigin++
+		req.To = ids.Origin
+		ctx.Send(req)
+		return
+	}
+
+	req.To = p.forwardAddr(req.Object)
+	ctx.Send(req)
+}
+
+// forwardAddr is the paper's Forward_Addr() (Fig. 6): use the learned
+// location when one exists, otherwise pick a random peer (including
+// ourselves). A learned location equal to our own ID is a THIS entry whose
+// object is not cached here, which means this proxy is responsible and the
+// unresolved query goes to the origin server (§III.3.2).
+func (p *ADC) forwardAddr(obj ids.ObjectID) ids.NodeID {
+	if loc, ok := p.tables.ForwardLocation(obj); ok {
+		if loc == p.id {
+			p.stats.ForwardOrigin++
+			return ids.Origin
+		}
+		p.stats.ForwardLearned++
+		return loc
+	}
+	p.stats.ForwardRandom++
+	return p.peers[p.rng.Intn(len(p.peers))]
+}
+
+// receiveReply is the paper's Receive_Reply() (Fig. 7).
+func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
+	p.stats.RepliesSeen++
+
+	// Data straight from the origin server: the first proxy on the
+	// backwarding path claims the resolver slot.
+	if rep.Resolver == ids.None {
+		rep.Resolver = p.id
+	}
+
+	// Learn the agreed location; this may promote the entry through the
+	// tables and into the cache (the object's data is passing by right
+	// now, so caching is possible exactly here).
+	p.recordOutcome(p.tables.Update(rep.Object, rep.Resolver, p.localTime))
+
+	// "This focus on only one caching location is necessary to allow
+	// the system to agree faster on one location" (§IV.2): the first
+	// cache-holding proxy on the path claims resolver + cached.
+	if !rep.Cached && p.tables.IsCached(rep.Object) {
+		rep.Resolver = p.id
+		rep.Cached = true
+	}
+
+	// Retire one stored backwarding pass.
+	if n := p.pending[rep.ID]; n > 1 {
+		p.pending[rep.ID] = n - 1
+	} else {
+		delete(p.pending, rep.ID)
+	}
+
+	next, _ := rep.NextBackward()
+	rep.To = next
+	ctx.Send(rep)
+}
+
+func (p *ADC) recordOutcome(out core.Outcome) {
+	if out.To == core.KindCaching && out.From != core.KindCaching {
+		p.stats.CacheInsertions++
+	}
+	if out.CacheEvicted != nil {
+		p.stats.CacheEvictions++
+	}
+}

@@ -1,0 +1,196 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// EntryPolicy selects which proxy a client sends each request to.
+type EntryPolicy int
+
+// Entry policies.
+const (
+	// EntryRandom picks a uniformly random proxy per request (default;
+	// models independent clients scattered over the network).
+	EntryRandom EntryPolicy = iota
+	// EntryRoundRobin cycles through the proxies.
+	EntryRoundRobin
+	// EntryFixed always uses the first proxy — the worst case for
+	// hashing schemes and a stress test for ADC's backwarding.
+	EntryFixed
+)
+
+// String implements fmt.Stringer.
+func (p EntryPolicy) String() string {
+	switch p {
+	case EntryRandom:
+		return "random"
+	case EntryRoundRobin:
+		return "round-robin"
+	case EntryFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("EntryPolicy(%d)", int(p))
+	}
+}
+
+// Client is the closed-loop request driver: it keeps exactly one request
+// outstanding, records each completion, and injects the next request when
+// the reply arrives. Closed-loop injection is what makes concurrent and
+// distributed runs deliver bit-identical metrics to the sequential engine
+// (DESIGN.md §3).
+type Client struct {
+	id        ids.NodeID
+	src       workload.Source
+	proxies   []ids.NodeID
+	policy    EntryPolicy
+	rng       *rand.Rand
+	collector *metrics.Collector
+	maxHops   int
+
+	counter uint64
+	rr      int
+	done    bool
+	// sentAt is the virtual send time of the outstanding request, used
+	// to measure response time on virtual-time engines.
+	sentAt int64
+
+	// onDone, when set, fires once after the last reply is recorded;
+	// concurrent runtimes use it to know when to shut down.
+	onDone func()
+}
+
+var (
+	_ Node    = (*Client)(nil)
+	_ Starter = (*Client)(nil)
+)
+
+// ClientConfig assembles a Client.
+type ClientConfig struct {
+	// Index distinguishes multiple clients; the NodeID is ids.Client(Index).
+	Index int
+	// Source supplies the request stream.
+	Source workload.Source
+	// Proxies lists the entry points.
+	Proxies []ids.NodeID
+	// Policy selects the entry proxy per request (default EntryRandom).
+	Policy EntryPolicy
+	// Seed drives the EntryRandom choice.
+	Seed int64
+	// Collector receives one Record per completed request.
+	Collector *metrics.Collector
+	// MaxHops is copied onto every request (0 = unbounded).
+	MaxHops int
+	// OnDone fires after the final reply (optional).
+	OnDone func()
+}
+
+// NewClient builds a client driver.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("sim: client %d needs a workload source", cfg.Index)
+	}
+	if len(cfg.Proxies) == 0 {
+		return nil, fmt.Errorf("sim: client %d needs at least one proxy", cfg.Index)
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector(metrics.WithSampleEvery(0))
+	}
+	return &Client{
+		id:        ids.Client(cfg.Index),
+		src:       cfg.Source,
+		proxies:   cfg.Proxies,
+		policy:    cfg.Policy,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		collector: cfg.Collector,
+		maxHops:   cfg.MaxHops,
+		onDone:    cfg.OnDone,
+	}, nil
+}
+
+// ID implements Node.
+func (c *Client) ID() ids.NodeID { return c.id }
+
+// SetOnDone installs the completion callback; it must be called before the
+// run starts. Concurrent runtimes use it to learn when traffic has drained.
+func (c *Client) SetOnDone(fn func()) { c.onDone = fn }
+
+// AddProxy adds a newly joined proxy to the entry-point set (infrastructure
+// growth). Safe only between requests on the sequential engine.
+func (c *Client) AddProxy(id ids.NodeID) {
+	for _, p := range c.proxies {
+		if p == id {
+			return
+		}
+	}
+	c.proxies = append(c.proxies, id)
+}
+
+// Collector returns the metrics sink.
+func (c *Client) Collector() *metrics.Collector { return c.collector }
+
+// Done reports whether the trace is exhausted and the last reply recorded.
+func (c *Client) Done() bool { return c.done }
+
+// Start implements Starter: it injects the first request.
+func (c *Client) Start(ctx Context) {
+	c.sendNext(ctx)
+}
+
+// Handle implements Node: every delivered message must be the reply to the
+// single outstanding request.
+func (c *Client) Handle(ctx Context, m msg.Message) {
+	rep, ok := m.(*msg.Reply)
+	if !ok {
+		return // clients never receive requests
+	}
+	c.collector.Record(!rep.FromOrigin, rep.Hops, rep.PathLen)
+	if clk, ok := ctx.(Clock); ok {
+		c.collector.RecordResponse(clk.VNow() - c.sentAt)
+	}
+	c.sendNext(ctx)
+}
+
+func (c *Client) sendNext(ctx Context) {
+	obj, ok := c.src.Next()
+	if !ok {
+		if !c.done {
+			c.done = true
+			if c.onDone != nil {
+				c.onDone()
+			}
+		}
+		return
+	}
+	c.counter++
+	if clk, ok := ctx.(Clock); ok {
+		c.sentAt = clk.VNow()
+	}
+	req := &msg.Request{
+		To:      c.pickEntry(),
+		ID:      ids.NewRequestID(c.id.ClientIndex(), c.counter),
+		Object:  obj,
+		Client:  c.id,
+		Sender:  c.id,
+		MaxHops: c.maxHops,
+	}
+	ctx.Send(req)
+}
+
+func (c *Client) pickEntry() ids.NodeID {
+	switch c.policy {
+	case EntryRoundRobin:
+		p := c.proxies[c.rr%len(c.proxies)]
+		c.rr++
+		return p
+	case EntryFixed:
+		return c.proxies[0]
+	default:
+		return c.proxies[c.rng.Intn(len(c.proxies))]
+	}
+}

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+// These tests probe the paper's load-bearing transport assumption:
+// "we don't expect the loss of messages and ... always either one of the
+// proxy objects or the actual origin server will finally resolve the
+// request" (§III.1). The protocol has no timeouts or retransmissions, so
+// a single lost message strands its request chain permanently — the
+// fault-injection engine makes that concrete and measurable.
+
+func TestLossStrandsClosedLoop(t *testing.T) {
+	eng := NewVEngine(LatencyModel{ClientProxy: 1})
+	echo := &delayProbe{id: 0, reply: true}
+	if err := eng.Register(echo); err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]ids.ObjectID, 10)
+	cl, err := NewClient(ClientConfig{
+		Source:  trace.NewSliceSource(objs),
+		Proxies: []ids.NodeID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(cl); err != nil {
+		t.Fatal(err)
+	}
+	// Drop the 6th network transfer (the 3rd request's request leg).
+	n := 0
+	eng.SetDropFilter(func(m msg.Message) bool {
+		n++
+		return n == 6
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The engine drains (no livelock), but the closed loop is stranded:
+	// the client never completes its trace and the loss is visible.
+	if cl.Done() {
+		t.Error("client completed despite a lost message — the protocol has no retransmission")
+	}
+	if eng.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", eng.Dropped())
+	}
+	if got := cl.Collector().Requests(); got != 2 {
+		t.Errorf("completed %d requests before the loss, want 2", got)
+	}
+}
+
+func TestLossStrandsOpenLoopPartially(t *testing.T) {
+	// Open-loop injection keeps going past a loss (arrivals are timer
+	// driven), so exactly the chains whose messages were dropped are
+	// missing — loss is proportional, not total.
+	eng := NewVEngine(LatencyModel{ClientProxy: 1})
+	echo := &delayProbe{id: 0, reply: true}
+	if err := eng.Register(echo); err != nil {
+		t.Fatal(err)
+	}
+	objs := make([]ids.ObjectID, 20)
+	cl, err := NewOpenLoopClient(OpenLoopConfig{
+		Source:        trace.NewSliceSource(objs),
+		Proxies:       []ids.NodeID{0},
+		IntervalTicks: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(cl); err != nil {
+		t.Fatal(err)
+	}
+	// Drop every 7th network transfer.
+	n := 0
+	eng.SetDropFilter(func(m msg.Message) bool {
+		n++
+		return n%7 == 0
+	})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Done() {
+		t.Error("open-loop client reported done despite stranded requests")
+	}
+	if cl.Outstanding() == 0 {
+		t.Error("expected stranded outstanding requests after losses")
+	}
+	completed := cl.Collector().Requests()
+	if completed == 0 || completed >= 20 {
+		t.Errorf("completed = %d, want partial completion", completed)
+	}
+	if completed+uint64(cl.Outstanding()) != 20 {
+		t.Errorf("completed %d + outstanding %d != injected 20",
+			completed, cl.Outstanding())
+	}
+}
+
+func TestNoLossMeansNoStranding(t *testing.T) {
+	// Control: with the filter installed but never firing, everything
+	// completes — the stranding above is caused by loss alone.
+	eng := NewVEngine(LatencyModel{ClientProxy: 1})
+	echo := &delayProbe{id: 0, reply: true}
+	if err := eng.Register(echo); err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewClient(ClientConfig{
+		Source:  trace.NewSliceSource(make([]ids.ObjectID, 10)),
+		Proxies: []ids.NodeID{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(cl); err != nil {
+		t.Fatal(err)
+	}
+	eng.SetDropFilter(func(msg.Message) bool { return false })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Done() || eng.Dropped() != 0 {
+		t.Errorf("control run wrong: done=%v dropped=%d", cl.Done(), eng.Dropped())
+	}
+}

@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// tick is the open-loop client's private timer message.
+type tick struct{ to ids.NodeID }
+
+// Dest implements msg.Message.
+func (t tick) Dest() ids.NodeID { return t.to }
+
+// OpenLoopClient injects requests at a configured arrival rate regardless
+// of outstanding replies — the way Web Polygraph drives a proxy farm
+// ("TheBench.peak_req_rate = 100/sec", paper Fig. 10). Multiple requests
+// are in flight at once, so unlike the closed-loop Client it exercises
+// queueing and interleaving; it requires the virtual-time engine (its
+// timer is the Scheduler interface) and remains fully deterministic there.
+type OpenLoopClient struct {
+	id        ids.NodeID
+	src       workload.Source
+	proxies   []ids.NodeID
+	policy    EntryPolicy
+	rng       *rand.Rand
+	collector *metrics.Collector
+	maxHops   int
+
+	// interval is the mean inter-arrival time in virtual ticks; poisson
+	// selects exponential instead of fixed spacing.
+	interval int64
+	poisson  bool
+
+	counter     uint64
+	rr          int
+	injected    int
+	outstanding map[ids.RequestID]int64 // request → virtual send time
+	exhausted   bool
+	done        bool
+	onDone      func()
+}
+
+var (
+	_ Node    = (*OpenLoopClient)(nil)
+	_ Starter = (*OpenLoopClient)(nil)
+)
+
+// OpenLoopConfig assembles an OpenLoopClient.
+type OpenLoopConfig struct {
+	// Index, Source, Proxies, Policy, Seed, Collector, MaxHops, OnDone
+	// mirror ClientConfig.
+	Index     int
+	Source    workload.Source
+	Proxies   []ids.NodeID
+	Policy    EntryPolicy
+	Seed      int64
+	Collector *metrics.Collector
+	MaxHops   int
+	OnDone    func()
+
+	// IntervalTicks is the mean inter-arrival time in virtual ticks.
+	IntervalTicks int64
+	// Poisson draws exponential inter-arrival times instead of fixed.
+	Poisson bool
+}
+
+// NewOpenLoopClient builds an open-loop driver.
+func NewOpenLoopClient(cfg OpenLoopConfig) (*OpenLoopClient, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("sim: open-loop client %d needs a workload source", cfg.Index)
+	}
+	if len(cfg.Proxies) == 0 {
+		return nil, fmt.Errorf("sim: open-loop client %d needs at least one proxy", cfg.Index)
+	}
+	if cfg.IntervalTicks <= 0 {
+		return nil, fmt.Errorf("sim: open-loop interval must be positive, got %d", cfg.IntervalTicks)
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector(metrics.WithSampleEvery(0))
+	}
+	return &OpenLoopClient{
+		id:          ids.Client(cfg.Index),
+		src:         cfg.Source,
+		proxies:     cfg.Proxies,
+		policy:      cfg.Policy,
+		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x0BADCAFE)),
+		collector:   cfg.Collector,
+		maxHops:     cfg.MaxHops,
+		interval:    cfg.IntervalTicks,
+		poisson:     cfg.Poisson,
+		outstanding: make(map[ids.RequestID]int64),
+		onDone:      cfg.OnDone,
+	}, nil
+}
+
+// ID implements Node.
+func (c *OpenLoopClient) ID() ids.NodeID { return c.id }
+
+// Collector returns the metrics sink.
+func (c *OpenLoopClient) Collector() *metrics.Collector { return c.collector }
+
+// Done reports whether the trace is exhausted and every reply received.
+func (c *OpenLoopClient) Done() bool { return c.done }
+
+// SetOnDone installs the completion callback before the run starts.
+func (c *OpenLoopClient) SetOnDone(fn func()) { c.onDone = fn }
+
+// Outstanding returns the number of in-flight requests (test support).
+func (c *OpenLoopClient) Outstanding() int { return len(c.outstanding) }
+
+// Start implements Starter. The context must support virtual-time
+// scheduling; the cluster layer guarantees it by only pairing this client
+// with the virtual-time engine.
+func (c *OpenLoopClient) Start(ctx Context) {
+	sched, ok := ctx.(Scheduler)
+	if !ok {
+		panic("sim: OpenLoopClient requires a virtual-time engine (Scheduler)")
+	}
+	sched.After(0, tick{to: c.id})
+}
+
+// Handle implements Node: ticks inject, replies complete.
+func (c *OpenLoopClient) Handle(ctx Context, m msg.Message) {
+	switch t := m.(type) {
+	case tick:
+		c.inject(ctx)
+	case *msg.Reply:
+		c.complete(ctx, t)
+	}
+}
+
+func (c *OpenLoopClient) inject(ctx Context) {
+	obj, ok := c.src.Next()
+	if !ok {
+		c.exhausted = true
+		c.maybeFinish()
+		return
+	}
+	clk := ctx.(Clock) // Start already proved the engine supports it
+	c.counter++
+	id := ids.NewRequestID(c.id.ClientIndex(), c.counter)
+	c.outstanding[id] = clk.VNow()
+	c.injected++
+	ctx.Send(&msg.Request{
+		To:      c.pickEntry(),
+		ID:      id,
+		Object:  obj,
+		Client:  c.id,
+		Sender:  c.id,
+		MaxHops: c.maxHops,
+	})
+	ctx.(Scheduler).After(c.nextGap(), tick{to: c.id})
+}
+
+func (c *OpenLoopClient) complete(ctx Context, rep *msg.Reply) {
+	c.collector.Record(!rep.FromOrigin, rep.Hops, rep.PathLen)
+	if sentAt, ok := c.outstanding[rep.ID]; ok {
+		if clk, isClock := ctx.(Clock); isClock {
+			c.collector.RecordResponse(clk.VNow() - sentAt)
+		}
+		delete(c.outstanding, rep.ID)
+	}
+	c.maybeFinish()
+}
+
+func (c *OpenLoopClient) maybeFinish() {
+	if !c.done && c.exhausted && len(c.outstanding) == 0 {
+		c.done = true
+		if c.onDone != nil {
+			c.onDone()
+		}
+	}
+}
+
+// nextGap draws the next inter-arrival time.
+func (c *OpenLoopClient) nextGap() int64 {
+	if !c.poisson {
+		return c.interval
+	}
+	u := c.rng.Float64()
+	for u == 0 {
+		u = c.rng.Float64()
+	}
+	gap := int64(-math.Log(u) * float64(c.interval))
+	if gap < 1 {
+		gap = 1
+	}
+	return gap
+}
+
+func (c *OpenLoopClient) pickEntry() ids.NodeID {
+	switch c.policy {
+	case EntryRoundRobin:
+		p := c.proxies[c.rr%len(c.proxies)]
+		c.rr++
+		return p
+	case EntryFixed:
+		return c.proxies[0]
+	default:
+		return c.proxies[c.rng.Intn(len(c.proxies))]
+	}
+}

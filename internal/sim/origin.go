@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+)
+
+// Origin is the origin server: it resolves every request addressed to it
+// and starts the reply on its way back along the recorded forwarding path.
+// "We don't expect the loss of messages and ... always either one of the
+// proxy objects or the actual origin server will finally resolve the
+// request" (§III.1).
+type Origin struct {
+	// resolved counts requests the origin had to answer (cluster-level
+	// miss counter, cross-checked against client-side accounting).
+	resolved uint64
+}
+
+var _ Node = (*Origin)(nil)
+
+// NewOrigin returns the origin server node.
+func NewOrigin() *Origin { return &Origin{} }
+
+// ID implements Node.
+func (o *Origin) ID() ids.NodeID { return ids.Origin }
+
+// Resolved returns how many requests the origin answered.
+func (o *Origin) Resolved() uint64 { return o.resolved }
+
+// Handle implements Node.
+func (o *Origin) Handle(ctx Context, m msg.Message) {
+	req, ok := m.(*msg.Request)
+	if !ok {
+		// Replies never target the origin; ignore defensively.
+		return
+	}
+	o.resolved++
+	rep := msg.ReplyTo(req)
+	rep.FromOrigin = true
+	// Resolver stays None: "a NULL value stays for the data from the
+	// origin server and the [first backwarding] proxy will be assigned
+	// as the official resolver" (§IV.2).
+	next, _ := rep.NextBackward()
+	rep.To = next
+	ctx.Send(rep)
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram counts observations into fixed-width integer buckets; the last
+// bucket is an overflow bucket. It is used by the harness to summarise hop
+// and path-length distributions.
+type Histogram struct {
+	width   int
+	buckets []uint64
+	total   uint64
+}
+
+// NewHistogram returns a histogram with n buckets of the given width, plus
+// an implicit overflow bucket. Both arguments must be positive.
+func NewHistogram(n, width int) *Histogram {
+	if n <= 0 || width <= 0 {
+		panic("stats: histogram dimensions must be positive")
+	}
+	return &Histogram{width: width, buckets: make([]uint64, n+1)}
+}
+
+// Add counts one observation. Negative values land in bucket 0.
+func (h *Histogram) Add(v int) {
+	idx := 0
+	if v > 0 {
+		idx = v / h.width
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Count returns the number of observations in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.buckets[i] }
+
+// Buckets returns a copy of the bucket counts (last entry is overflow).
+func (h *Histogram) Buckets() []uint64 {
+	out := make([]uint64, len(h.buckets))
+	copy(out, h.buckets)
+	return out
+}
+
+// Quantile estimates the q-th quantile (0 <= q <= 1) from the bucket
+// counts, interpolating linearly within the containing bucket. The
+// overflow bucket reports its lower bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 || q < 0 || q > 1 {
+		return 0
+	}
+	target := q * float64(h.total)
+	var cum float64
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next >= target {
+			if i == len(h.buckets)-1 {
+				return float64(i * h.width) // overflow: lower bound
+			}
+			frac := 0.0
+			if c > 0 {
+				frac = (target - cum) / float64(c)
+			}
+			return float64(i*h.width) + frac*float64(h.width)
+		}
+		cum = next
+	}
+	return float64((len(h.buckets) - 1) * h.width)
+}
+
+// String renders the histogram as a compact multi-line bar chart.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty histogram)"
+	}
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		var label string
+		if i == len(h.buckets)-1 {
+			label = fmt.Sprintf(">=%d", i*h.width)
+		} else {
+			label = fmt.Sprintf("[%d,%d)", i*h.width, (i+1)*h.width)
+		}
+		bar := strings.Repeat("#", int(40*c/peak))
+		fmt.Fprintf(&b, "%-12s %8d %s\n", label, c, bar)
+	}
+	return b.String()
+}

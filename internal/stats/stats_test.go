@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestOnlineBasics(t *testing.T) {
+	var o Online
+	if o.N() != 0 || o.Mean() != 0 || o.Variance() != 0 {
+		t.Error("zero-value Online must report zeros")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		o.Add(x)
+	}
+	if o.N() != 8 {
+		t.Errorf("N = %d", o.N())
+	}
+	if !almost(o.Mean(), 5) {
+		t.Errorf("Mean = %v, want 5", o.Mean())
+	}
+	// Sample variance of the classic dataset is 32/7.
+	if !almost(o.Variance(), 32.0/7.0) {
+		t.Errorf("Variance = %v, want %v", o.Variance(), 32.0/7.0)
+	}
+	if o.Min() != 2 || o.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", o.Min(), o.Max())
+	}
+}
+
+func TestOnlineMergeMatchesSequential(t *testing.T) {
+	// Bound the magnitudes: with values near MaxFloat64 both the merged
+	// and the sequential computation lose all precision and comparing
+	// them is meaningless.
+	sanitize := func(x float64) float64 {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return 1
+		}
+		return math.Mod(x, 1e6)
+	}
+	prop := func(a, b []float64) bool {
+		var whole, left, right Online
+		for _, x := range a {
+			whole.Add(sanitize(x))
+			left.Add(sanitize(x))
+		}
+		for _, x := range b {
+			whole.Add(sanitize(x))
+			right.Add(sanitize(x))
+		}
+		left.Merge(&right)
+		if whole.N() != left.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		relEq := func(a, b float64) bool {
+			scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+			return math.Abs(a-b) <= 1e-9*scale
+		}
+		return relEq(whole.Mean(), left.Mean()) &&
+			relEq(whole.Variance(), left.Variance())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndStdDev(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil) must return ErrEmpty")
+	}
+	m, err := Mean([]float64{1, 2, 3})
+	if err != nil || !almost(m, 2) {
+		t.Errorf("Mean = %v, %v", m, err)
+	}
+	if _, err := StdDev([]float64{1}); err == nil {
+		t.Error("StdDev of one sample must fail")
+	}
+	sd, err := StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if err != nil || !almost(sd, math.Sqrt(32.0/7.0)) {
+		t.Errorf("StdDev = %v, %v", sd, err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15}, {100, 50}, {50, 35}, {25, 20},
+	}
+	for _, tc := range cases {
+		got, err := Percentile(xs, tc.p)
+		if err != nil || !almost(got, tc.want) {
+			t.Errorf("Percentile(%v) = %v, %v; want %v", tc.p, got, err, tc.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("empty percentile must return ErrEmpty")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile must fail")
+	}
+	// Input must not be mutated.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestMovingAverageExact(t *testing.T) {
+	m := NewMovingAverage(3)
+	if m.Value() != 0 || m.N() != 0 {
+		t.Error("empty window must report 0")
+	}
+	m.Add(3)
+	if !almost(m.Value(), 3) {
+		t.Errorf("Value = %v", m.Value())
+	}
+	m.Add(6)
+	m.Add(9)
+	if !almost(m.Value(), 6) || m.N() != 3 {
+		t.Errorf("Value = %v, N = %d", m.Value(), m.N())
+	}
+	m.Add(12) // 3 slides out
+	if !almost(m.Value(), 9) || m.N() != 3 {
+		t.Errorf("Value after slide = %v", m.Value())
+	}
+	m.Reset()
+	if m.Value() != 0 || m.N() != 0 {
+		t.Error("Reset must empty the window")
+	}
+}
+
+func TestMovingAverageMatchesNaive(t *testing.T) {
+	prop := func(xs []float64, sizeSeed uint8) bool {
+		size := int(sizeSeed%9) + 1
+		m := NewMovingAverage(size)
+		for i, x := range xs {
+			// Bound the values to keep the naive sum stable.
+			x = math.Mod(x, 1000)
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 1
+			}
+			m.Add(x)
+			lo := i + 1 - size
+			if lo < 0 {
+				lo = 0
+			}
+			var sum float64
+			for j := lo; j <= i; j++ {
+				v := math.Mod(xs[j], 1000)
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					v = 1
+				}
+				sum += v
+			}
+			naive := sum / float64(i+1-lo)
+			if math.Abs(m.Value()-naive) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMovingAveragePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewMovingAverage(0) must panic")
+		}
+	}()
+	NewMovingAverage(0)
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(10, 10) // buckets [0,10) … [90,100) + overflow
+	for v := 0; v < 100; v++ {
+		h.Add(v)
+	}
+	// Uniform over [0,100): the median must land near 50, p90 near 90.
+	if q := h.Quantile(0.5); math.Abs(q-50) > 10 {
+		t.Errorf("median = %v, want ≈50", q)
+	}
+	if q := h.Quantile(0.9); math.Abs(q-90) > 10 {
+		t.Errorf("p90 = %v, want ≈90", q)
+	}
+	if q := h.Quantile(0); q != 0 {
+		t.Errorf("q0 = %v", q)
+	}
+	// Out-of-range and empty cases.
+	if h.Quantile(-1) != 0 || h.Quantile(2) != 0 {
+		t.Error("out-of-range quantiles must return 0")
+	}
+	var empty Histogram
+	if (&empty).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile must be 0")
+	}
+	// Overflow bucket reports its lower bound.
+	ho := NewHistogram(2, 10)
+	ho.Add(1000)
+	if q := ho.Quantile(1); q != 20 {
+		t.Errorf("overflow quantile = %v, want 20", q)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(4, 2) // buckets [0,2) [2,4) [4,6) [6,8) overflow
+	for _, v := range []int{0, 1, 2, 5, 7, 100, -3} {
+		h.Add(v)
+	}
+	if h.Total() != 7 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 3 { // 0, 1, -3
+		t.Errorf("bucket 0 = %d, want 3", h.Count(0))
+	}
+	if h.Count(1) != 1 || h.Count(2) != 1 || h.Count(3) != 1 {
+		t.Errorf("buckets = %v", h.Buckets())
+	}
+	if h.Count(4) != 1 { // overflow
+		t.Errorf("overflow = %d, want 1", h.Count(4))
+	}
+	s := h.String()
+	if !strings.Contains(s, ">=8") {
+		t.Errorf("String missing overflow label:\n%s", s)
+	}
+	if NewHistogram(2, 1).String() != "(empty histogram)" {
+		t.Error("empty histogram string wrong")
+	}
+}

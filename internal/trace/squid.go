@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// ParseSquidLog converts a Squid access.log (native format) into a request
+// stream, so the simulator can replay real proxy traffic — the paper
+// looked at "different online available log files of server and proxy
+// systems" before settling on synthetic traces (§V.1.6); this parser makes
+// that path available to users who do have logs.
+//
+// The native Squid format is space-separated:
+//
+//	time elapsed remotehost code/status bytes method URL rfc931 peerstatus/peerhost type
+//
+// Only the URL column matters here: each distinct URL maps to a stable
+// 64-bit object ID (FNV-1a), preserving the request pattern exactly.
+// Malformed lines are skipped and counted rather than failing the whole
+// file — real logs contain noise.
+func ParseSquidLog(r io.Reader) (workload.Source, *SquidStats, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 4*1024*1024)
+	var objs []ids.ObjectID
+	stats := &SquidStats{urls: make(map[uint64]bool)}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 7 {
+			stats.Malformed++
+			continue
+		}
+		url := fields[6]
+		if !strings.Contains(url, "://") && !strings.HasPrefix(url, "/") {
+			// The URL column of native logs always carries a scheme
+			// or an absolute path; anything else is a parse slip.
+			stats.Malformed++
+			continue
+		}
+		id := fnv1a(url)
+		if !stats.urls[id] {
+			stats.urls[id] = true
+			stats.Distinct++
+		}
+		objs = append(objs, ids.ObjectID(id))
+		stats.Requests++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("trace: scan squid log: %w", err)
+	}
+	if stats.Requests == 0 {
+		return nil, nil, fmt.Errorf("trace: no parseable requests in squid log (%d malformed lines)", stats.Malformed)
+	}
+	return NewSliceSource(objs), stats, nil
+}
+
+// SquidStats reports what the parser saw.
+type SquidStats struct {
+	// Requests is the number of parsed requests.
+	Requests int
+	// Distinct is the number of unique URLs.
+	Distinct int
+	// Malformed counts skipped lines.
+	Malformed int
+
+	urls map[uint64]bool
+}
+
+// fnv1a is the 64-bit FNV-1a hash of s.
+func fnv1a(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSquidLog = `
+1066036124.531    342 10.0.0.1 TCP_MISS/200 1234 GET http://example.com/index.html - DIRECT/93.184.216.34 text/html
+1066036125.103     12 10.0.0.2 TCP_HIT/200 5678 GET http://example.com/logo.png - NONE/- image/png
+1066036125.900    221 10.0.0.1 TCP_MISS/200 910 GET http://other.org/page - DIRECT/1.2.3.4 text/html
+# a comment line
+
+1066036126.001     10 10.0.0.3 TCP_HIT/200 1234 GET http://example.com/index.html - NONE/- text/html
+garbage line that is too short
+1066036126.500     80 10.0.0.1 TCP_MISS/404 0 GET notaurl - DIRECT/- -
+`
+
+func TestParseSquidLog(t *testing.T) {
+	src, stats, err := ParseSquidLog(strings.NewReader(sampleSquidLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 4 {
+		t.Errorf("requests = %d, want 4", stats.Requests)
+	}
+	if stats.Distinct != 3 {
+		t.Errorf("distinct = %d, want 3", stats.Distinct)
+	}
+	if stats.Malformed != 2 {
+		t.Errorf("malformed = %d, want 2", stats.Malformed)
+	}
+	objs := Drain(src)
+	if len(objs) != 4 {
+		t.Fatalf("drained %d requests", len(objs))
+	}
+	// The repeated URL must map to the same object ID.
+	if objs[0] != objs[3] {
+		t.Error("repeated URL mapped to different object IDs")
+	}
+	if objs[0] == objs[1] || objs[1] == objs[2] {
+		t.Error("distinct URLs collided")
+	}
+}
+
+func TestParseSquidLogEmpty(t *testing.T) {
+	if _, _, err := ParseSquidLog(strings.NewReader("")); err == nil {
+		t.Error("empty log must fail")
+	}
+	if _, _, err := ParseSquidLog(strings.NewReader("junk\nmore junk\n")); err == nil {
+		t.Error("all-malformed log must fail")
+	}
+}
+
+func TestParseSquidLogAbsolutePathURLs(t *testing.T) {
+	log := "1.0 1 h TCP_MISS/200 1 GET /local/path - NONE/- -\n"
+	src, stats, err := ParseSquidLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Requests != 1 || src.Total() != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestFNV1aStability(t *testing.T) {
+	// Known FNV-1a 64 vector.
+	if got := fnv1a(""); got != 14695981039346656037 {
+		t.Errorf("fnv1a(\"\") = %d", got)
+	}
+	if fnv1a("a") == fnv1a("b") {
+		t.Error("trivial collision")
+	}
+}

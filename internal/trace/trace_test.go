@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	objs := []ids.ObjectID{1, 5, 1 << 40, 0, 42, 42, 7}
+	var buf bytes.Buffer
+	if err := Write(&buf, NewSliceSource(objs)); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Total() != len(objs) {
+		t.Fatalf("Total = %d, want %d", r.Total(), len(objs))
+	}
+	got := Drain(r)
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if len(got) != len(objs) {
+		t.Fatalf("drained %d, want %d", len(got), len(objs))
+	}
+	for i := range objs {
+		if got[i] != objs[i] {
+			t.Errorf("request %d = %v, want %v", i, got[i], objs[i])
+		}
+	}
+}
+
+func TestBinaryRoundTripGeneratedWorkload(t *testing.T) {
+	gen, err := workload.New(workload.DefaultConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Drain(gen)
+	gen.Reset()
+
+	var buf bytes.Buffer
+	if err := Write(&buf, gen); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(r)
+	if len(got) != len(want) {
+		t.Fatalf("drained %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	_, err := NewReader(strings.NewReader("not a trace file at all"))
+	if !errors.Is(err, ErrBadMagic) {
+		t.Errorf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("ADC")); err == nil {
+		t.Error("truncated header must fail")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	objs := []ids.ObjectID{1, 2, 3, 4, 5}
+	var buf bytes.Buffer
+	if err := Write(&buf, NewSliceSource(objs)); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()-2]
+	r, err := NewReader(bytes.NewReader(cut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = Drain(r)
+	if r.Err() == nil {
+		t.Error("truncated body must surface an error via Err()")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	objs := []ids.ObjectID{10, 20, 30}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, NewSliceSource(objs)); err != nil {
+		t.Fatal(err)
+	}
+	src, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(src)
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Errorf("text round trip = %v", got)
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n1\n  2 \n# mid\n3\n"
+	src, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Drain(src)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parsed %v", got)
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("1\nxyz\n")); err == nil {
+		t.Error("garbage line must fail")
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	s := NewSliceSource([]ids.ObjectID{1, 2})
+	if got := Drain(s); len(got) != 2 {
+		t.Fatalf("first drain = %v", got)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted source must report !ok")
+	}
+	s.Reset()
+	if got := Drain(s); len(got) != 2 {
+		t.Errorf("post-reset drain = %v", got)
+	}
+}

@@ -1,0 +1,125 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+// echoNode resolves every request itself.
+type echoNode struct {
+	id ids.NodeID
+
+	mu   sync.Mutex
+	seen int
+}
+
+func (n *echoNode) ID() ids.NodeID { return n.id }
+func (n *echoNode) Handle(ctx sim.Context, m msg.Message) {
+	req, ok := m.(*msg.Request)
+	if !ok {
+		return
+	}
+	n.mu.Lock()
+	n.seen++
+	n.mu.Unlock()
+	rep := msg.ReplyTo(req)
+	rep.Resolver = n.id
+	rep.To = req.Client
+	ctx.Send(rep)
+}
+
+func (n *echoNode) count() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.seen
+}
+
+func TestRegisterValidation(t *testing.T) {
+	nw := NewNetwork()
+	if err := nw.Register(&echoNode{id: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Register(&echoNode{id: 1}); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	if _, ok := nw.Addr(1); !ok {
+		t.Error("registered node must have an address")
+	}
+	if _, ok := nw.Addr(9); ok {
+		t.Error("unregistered node must not have an address")
+	}
+}
+
+func TestClosedLoopOverTCP(t *testing.T) {
+	nw := NewNetwork()
+	node := &echoNode{id: 0}
+	if err := nw.Register(node); err != nil {
+		t.Fatal(err)
+	}
+
+	objs := make([]ids.ObjectID, 50)
+	for i := range objs {
+		objs[i] = ids.ObjectID(i)
+	}
+	col := metrics.NewCollector(metrics.WithSampleEvery(0))
+	done := make(chan struct{})
+	cl, err := sim.NewClient(sim.ClientConfig{
+		Source:    trace.NewSliceSource(objs),
+		Proxies:   []ids.NodeID{0},
+		Collector: col,
+		OnDone:    func() { close(done) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Register(cl); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := nw.Run(done); err != nil {
+		t.Fatal(err)
+	}
+	if !cl.Done() {
+		t.Fatal("client did not finish over TCP")
+	}
+	if col.Requests() != 50 {
+		t.Errorf("recorded %d requests, want 50", col.Requests())
+	}
+	if node.count() != 50 {
+		t.Errorf("node saw %d requests, want 50", node.count())
+	}
+	// Hop accounting must match the in-memory engines: request + reply.
+	if got := col.CumHops(); got != 2 {
+		t.Errorf("CumHops = %v, want 2", got)
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	nw := NewNetwork()
+	done := make(chan struct{})
+	close(done)
+	if err := nw.Run(done); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Run(done); err == nil {
+		t.Error("second Run must fail")
+	}
+}
+
+func TestRegisterAfterRunFails(t *testing.T) {
+	nw := NewNetwork()
+	done := make(chan struct{})
+	close(done)
+	if err := nw.Run(done); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Register(&echoNode{id: 2}); err == nil {
+		t.Error("Register after Run must fail")
+	}
+}

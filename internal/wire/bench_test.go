@@ -1,0 +1,47 @@
+package wire
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+)
+
+// The wire format sits on every TCP hop; these benches bound its cost.
+
+func BenchmarkEncodeRequest(b *testing.B) {
+	m := &msg.Request{
+		To: 3, ID: ids.NewRequestID(1, 42), Object: 123456,
+		Client: ids.Client(1), Sender: 2,
+		Path: []ids.NodeID{0, 1, 2}, Hops: 5,
+	}
+	buf := make([]byte, 0, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Encode(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = out
+	}
+}
+
+func BenchmarkDecodeRequest(b *testing.B) {
+	m := &msg.Request{
+		To: 3, ID: ids.NewRequestID(1, 42), Object: 123456,
+		Client: ids.Client(1), Sender: 2,
+		Path: []ids.NodeID{0, 1, 2}, Hops: 5,
+	}
+	frame, err := Encode(nil, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(frame); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

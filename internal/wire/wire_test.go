@@ -1,0 +1,166 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	in := &msg.Request{
+		To:      3,
+		ID:      ids.NewRequestID(2, 99),
+		Object:  1 << 50,
+		Client:  ids.Client(2),
+		Sender:  1,
+		Path:    []ids.NodeID{0, 4, 0},
+		Hops:    7,
+		MaxHops: 16,
+	}
+	frame, err := Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	in := &msg.Reply{
+		To:         ids.Client(0),
+		ID:         ids.NewRequestID(0, 1),
+		Object:     42,
+		Client:     ids.Client(0),
+		Resolver:   ids.None,
+		Cached:     true,
+		FromOrigin: true,
+		Path:       []ids.NodeID{2},
+		Hops:       5,
+		PathLen:    3,
+	}
+	frame, err := Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestEmptyPathDecodesAsNil(t *testing.T) {
+	in := &msg.Request{To: 1, Path: nil}
+	frame, _ := Encode(nil, in)
+	out, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.(*msg.Request).Path != nil {
+		t.Error("empty path must decode as nil")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil frame: %v", err)
+	}
+	if _, err := Decode([]byte{0x7F}); !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("bad kind: %v", err)
+	}
+	// Truncate a valid frame at every position; must error, not panic.
+	frame, _ := Encode(nil, &msg.Request{
+		To: 3, ID: 1, Object: 2, Client: ids.Client(0), Sender: 1,
+		Path: []ids.NodeID{1, 2, 3},
+	})
+	for i := 1; i < len(frame); i++ {
+		if _, err := Decode(frame[:i]); err == nil {
+			t.Errorf("truncation at %d silently decoded", i)
+		}
+	}
+}
+
+func TestDecodeHugePathCount(t *testing.T) {
+	// A frame claiming a 2^40-entry path must be rejected, not allocate.
+	frame, _ := Encode(nil, &msg.Request{To: 1})
+	// Strip the trailing zero path count and append a huge one.
+	frame = frame[:len(frame)-1]
+	frame = append(frame, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	if _, err := Decode(frame); err == nil {
+		t.Error("huge path count must fail")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []msg.Message{
+		&msg.Request{To: 1, Object: 5, Client: ids.Client(0), Sender: ids.Client(0)},
+		&msg.Reply{To: ids.Client(0), Object: 5, Resolver: 1, Cached: true},
+		&msg.Request{To: 2, Object: 6, Path: []ids.NodeID{0, 1}},
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("message %d:\nwant %+v\n got %+v", i, want, got)
+		}
+	}
+	if _, err := ReadMessage(&buf); err == nil {
+		t.Error("reading past the stream must fail")
+	}
+}
+
+func TestReadMessageRejectsOversizeFrame(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadMessage(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestRequestRoundTripProperty(t *testing.T) {
+	prop := func(to int16, id uint64, obj uint64, hops uint8, pathRaw []int8) bool {
+		path := make([]ids.NodeID, len(pathRaw))
+		for i, p := range pathRaw {
+			path[i] = ids.NodeID(p)
+		}
+		if len(path) == 0 {
+			path = nil
+		}
+		in := &msg.Request{
+			To: ids.NodeID(to), ID: ids.RequestID(id), Object: ids.ObjectID(obj),
+			Client: ids.Client(1), Sender: ids.NodeID(to), Hops: int(hops), Path: path,
+		}
+		frame, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(frame)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

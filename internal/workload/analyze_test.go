@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// sliceSrc avoids importing internal/trace (which imports this package).
+type sliceSrc struct {
+	objs []ids.ObjectID
+	pos  int
+}
+
+func (s *sliceSrc) Total() int { return len(s.objs) }
+func (s *sliceSrc) Next() (ids.ObjectID, bool) {
+	if s.pos >= len(s.objs) {
+		return 0, false
+	}
+	o := s.objs[s.pos]
+	s.pos++
+	return o, true
+}
+
+func TestAnalyzeEmpty(t *testing.T) {
+	st := Analyze(&sliceSrc{})
+	if st.Requests != 0 || st.Distinct != 0 {
+		t.Errorf("empty stats = %+v", st)
+	}
+}
+
+func TestAnalyzeKnownStream(t *testing.T) {
+	// 1,1,1,2,2,3 → 6 requests, 3 distinct, 1 one-timer,
+	// recurring share 5/6, hottest object 3 requests.
+	st := Analyze(&sliceSrc{objs: []ids.ObjectID{1, 1, 1, 2, 2, 3}})
+	if st.Requests != 6 || st.Distinct != 3 || st.OneTimers != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.RecurringShare-5.0/6.0) > 1e-12 {
+		t.Errorf("recurring share = %v", st.RecurringShare)
+	}
+	if st.MaxObjectRequests != 3 {
+		t.Errorf("max object requests = %d", st.MaxObjectRequests)
+	}
+	// Top 1% rounds up to 1 object: the hottest, 3/6 of requests.
+	if math.Abs(st.Top1Share-0.5) > 1e-12 {
+		t.Errorf("top1 share = %v", st.Top1Share)
+	}
+}
+
+func TestAnalyzeGeneratedWorkload(t *testing.T) {
+	g, err := New(DefaultConfig(40_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Analyze(g)
+	if st.Requests != 40_000 {
+		t.Errorf("requests = %d", st.Requests)
+	}
+	// With 30% one-timers and a mostly-unique fill phase, the
+	// recurring share must sit well below 1 but above 0.5 (Zipf head).
+	if st.RecurringShare < 0.5 || st.RecurringShare > 0.9 {
+		t.Errorf("recurring share = %v, want in [0.5, 0.9]", st.RecurringShare)
+	}
+	// Zipf concentration: the top 1% of objects must carry far more
+	// than 1% of requests.
+	if st.Top1Share < 0.05 {
+		t.Errorf("top1 share = %v, want >= 0.05", st.Top1Share)
+	}
+	if st.Top10Share <= st.Top1Share {
+		t.Error("top10 share must exceed top1 share")
+	}
+}

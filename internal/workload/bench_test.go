@@ -1,0 +1,36 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkGeneratorNext bounds the per-request cost of the synthetic
+// workload (it sits on the critical path of every simulated request).
+func BenchmarkGeneratorNext(b *testing.B) {
+	cfg := DefaultConfig(1 << 30)
+	cfg.PopulationSize = 100_000 // keep the CDF build out of the picture
+	g, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.Next(); !ok {
+			b.Fatal("stream exhausted")
+		}
+	}
+}
+
+// BenchmarkZipfRank isolates the CDF binary-search sampler.
+func BenchmarkZipfRank(b *testing.B) {
+	z, err := NewZipf(100_000, 0.8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Rank(rng)
+	}
+}

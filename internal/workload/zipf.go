@@ -1,0 +1,81 @@
+// Package workload generates the synthetic request stream the experiments
+// run against. The paper uses Web Polygraph's PolyMix-4 to create "a set of
+// almost 4 million requests ... divided into three phases" (§V.1.6):
+//
+//	Phase 1 — fill:            ≈1.0 M requests, "almost no repetitions";
+//	Phase 2 — request phase I: ≈1.5 M requests with web-like repetitions;
+//	Phase 3 — request phase II: "repeats itself", i.e. replays phase 2.
+//
+// Polygraph itself is a live benchmarking appliance, not a library, so this
+// package is the documented substitution (DESIGN.md §3): a deterministic,
+// seeded generator with the same phase structure and a Zipf-like popularity
+// skew, which is the empirically observed shape of web request streams
+// (Breslau et al., the paper's ref [2]).
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with probability proportional to 1/rank^alpha.
+//
+// math/rand's Zipf only supports exponents s > 1, but measured web streams
+// have alpha ≈ 0.6–0.9 (ref [2]), so we sample from an explicit cumulative
+// distribution with binary search: O(N) memory once, O(log N) per draw,
+// deterministic for a given rand.Rand.
+type Zipf struct {
+	cdf   []float64
+	alpha float64
+}
+
+// NewZipf builds a sampler over ranks 1..n with exponent alpha > 0.
+func NewZipf(n int, alpha float64) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("workload: zipf population must be positive, got %d", n)
+	}
+	if alpha <= 0 {
+		return nil, fmt.Errorf("workload: zipf exponent must be positive, got %v", alpha)
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), alpha)
+		cdf[i] = sum
+	}
+	// Normalise so the last bucket is exactly 1.
+	inv := 1 / sum
+	for i := range cdf {
+		cdf[i] *= inv
+	}
+	cdf[n-1] = 1
+	return &Zipf{cdf: cdf, alpha: alpha}, nil
+}
+
+// N returns the population size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Alpha returns the configured exponent.
+func (z *Zipf) Alpha() float64 { return z.alpha }
+
+// Rank draws a rank in [0, N) — rank 0 is the most popular.
+func (z *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// HeadMass returns the probability mass of the k most popular ranks — the
+// best possible hit rate of a cache holding exactly those k objects. The
+// experiment tuning notes in EXPERIMENTS.md use this to sanity-check
+// measured hit rates.
+func (z *Zipf) HeadMass(k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if k >= len(z.cdf) {
+		return 1
+	}
+	return z.cdf[k-1]
+}
