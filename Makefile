@@ -1,0 +1,32 @@
+# Standard development targets. `make race` is part of the merge bar:
+# the parallel experiment runner must stay race-clean.
+
+GO ?= go
+
+.PHONY: all build test race vet bench figures clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# Sweep benchmarks compare the sequential and parallel runners; the rest
+# regenerate every headline number in EXPERIMENTS.md.
+bench:
+	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+figures:
+	$(GO) run ./cmd/adcfigures
+
+clean:
+	$(GO) clean ./...
+	rm -rf figures/*.csv

@@ -231,3 +231,30 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		b.ReportMetric(float64(res.Requests)/res.Elapsed.Seconds(), "req/s")
 	}
 }
+
+// BenchmarkSweepSequential runs the Figs. 13–14 table sweep with the
+// worker pool forced to one — the pre-parallel-runner baseline.
+func BenchmarkSweepSequential(b *testing.B) {
+	b.ReportAllocs()
+	p := benchProfile()
+	p.Parallel = 1
+	for i := 0; i < b.N; i++ {
+		if _, err := adc.Sweep(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepParallel runs the identical sweep at the default pool
+// width (GOMAXPROCS); the speed-up over BenchmarkSweepSequential is the
+// parallel runner's headline number and scales with core count.
+func BenchmarkSweepParallel(b *testing.B) {
+	b.ReportAllocs()
+	p := benchProfile()
+	p.Parallel = 0 // GOMAXPROCS
+	for i := 0; i < b.N; i++ {
+		if _, err := adc.Sweep(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

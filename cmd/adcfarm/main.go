@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 
 	"github.com/adc-sim/adc"
@@ -36,6 +37,7 @@ func run(args []string) error {
 		caching  = fs.Int("caching", 1000, "caching-table size (payload store)")
 		seed     = fs.Int64("seed", 1, "random seed")
 		warm     = fs.Int("warm", 0, "warm up with this many synthetic requests before serving")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent warm-up clients (1 = deterministic single client)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,12 +64,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		requests, hits, err := farm.Run(gen, *seed)
+		requests, hits, err := farm.RunParallel(gen, *seed, *parallel)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("warmed with %d requests (hit rate %.3f)\n",
-			requests, float64(hits)/float64(requests))
+		fmt.Printf("warmed with %d requests (hit rate %.3f, %d clients)\n",
+			requests, float64(hits)/float64(requests), *parallel)
 	}
 
 	fmt.Printf("origin: %s\n", farm.OriginURL())

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"github.com/adc-sim/adc"
 	"github.com/adc-sim/adc/internal/plot"
@@ -35,10 +37,11 @@ type app struct {
 func run(args []string) error {
 	fs := flag.NewFlagSet("adcfigures", flag.ContinueOnError)
 	var (
-		scale  = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
-		seed   = fs.Int64("seed", 1, "random seed")
-		outDir = fs.String("out", "figures", "directory for CSV output")
-		fig    = fs.Int("fig", 0, "regenerate only this figure (11–15; 0 = all + extensions)")
+		scale    = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		outDir   = fs.String("out", "figures", "directory for CSV output")
+		fig      = fs.Int("fig", 0, "regenerate only this figure (11–15; 0 = all + extensions)")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations per experiment (1 = sequential)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,9 +50,10 @@ func run(args []string) error {
 		return err
 	}
 	a := &app{
-		profile: adc.Profile{Scale: *scale, Seed: *seed},
+		profile: adc.Profile{Scale: *scale, Seed: *seed, Parallel: *parallel},
 		outDir:  *outDir,
 	}
+	a.profile.Progress = progressLine(os.Stderr)
 
 	type figure struct {
 		id  int
@@ -77,6 +81,24 @@ func run(args []string) error {
 		}
 	}
 	return nil
+}
+
+// progressLine returns a Profile.Progress callback that rewrites one
+// carriage-returned status line per fan-out with run counts and
+// throughput, terminating the line when the fan-out completes.
+func progressLine(w *os.File) func(done, total int) {
+	var start time.Time
+	return func(done, total int) {
+		if done == 1 || start.IsZero() {
+			start = time.Now()
+		}
+		rate := float64(done) / time.Since(start).Seconds()
+		fmt.Fprintf(w, "\rrun %d/%d  %.1f runs/s", done, total, rate)
+		if done == total {
+			fmt.Fprintln(w)
+			start = time.Time{}
+		}
+	}
 }
 
 func (a *app) writeCSV(name, xLabel string, series ...plot.Series) error {

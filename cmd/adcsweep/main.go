@@ -15,7 +15,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"text/tabwriter"
+	"time"
 
 	"github.com/adc-sim/adc"
 )
@@ -30,17 +32,24 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("adcsweep", flag.ContinueOnError)
 	var (
-		scale   = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
-		seed    = fs.Int64("seed", 1, "random seed")
-		proxies = fs.Int("proxies", 5, "number of proxies")
-		metric  = fs.String("metric", "hits", "metric: hits, hops or time")
-		csvPath = fs.String("csv", "", "also write CSV to this file")
+		scale    = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		proxies  = fs.Int("proxies", 5, "number of proxies")
+		metric   = fs.String("metric", "hits", "metric: hits, hops or time")
+		csvPath  = fs.String("csv", "", "also write CSV to this file")
+		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	switch *metric {
+	case "hits", "hops", "time":
+	default:
+		return fmt.Errorf("unknown metric %q (want hits, hops or time)", *metric)
+	}
 
-	profile := adc.Profile{Scale: *scale, Seed: *seed, Proxies: *proxies}
+	profile := adc.Profile{Scale: *scale, Seed: *seed, Proxies: *proxies, Parallel: *parallel}
+	profile.Progress = progressLine(os.Stderr)
 
 	var (
 		pts []adc.SweepPoint
@@ -52,6 +61,7 @@ func run(args []string) error {
 	} else {
 		pts, err = adc.Sweep(profile)
 	}
+	fmt.Fprintln(os.Stderr)
 	if err != nil {
 		return err
 	}
@@ -73,8 +83,6 @@ func run(args []string) error {
 		for _, pt := range pts {
 			fmt.Fprintf(w, "%s\t%d\t%v\n", pt.Table, pt.Size, pt.Elapsed.Round(1e6))
 		}
-	default:
-		return fmt.Errorf("unknown metric %q (want hits, hops or time)", *metric)
 	}
 	if err := w.Flush(); err != nil {
 		return err
@@ -98,4 +106,16 @@ func run(args []string) error {
 		fmt.Printf("\nwrote %s\n", *csvPath)
 	}
 	return nil
+}
+
+// progressLine returns a Profile.Progress callback that rewrites one
+// carriage-returned status line with run counts and throughput.
+func progressLine(w *os.File) func(done, total int) {
+	start := time.Now()
+	return func(done, total int) {
+		elapsed := time.Since(start).Seconds()
+		rate := float64(done) / elapsed
+		fmt.Fprintf(w, "\rrun %d/%d  %.1f runs/s  %s elapsed",
+			done, total, rate, time.Since(start).Round(time.Second))
+	}
 }

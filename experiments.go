@@ -21,6 +21,17 @@ type Profile struct {
 	Seed int64
 	// Entry selects the client entry policy (default random).
 	Entry EntryPolicy
+	// Parallel bounds how many independent simulations an experiment
+	// runs concurrently (default GOMAXPROCS; 1 forces sequential
+	// execution). Results are bit-identical at any width — runs are
+	// seeded as in the sequential path and slotted by index — except
+	// for wall-clock Elapsed fields, which concurrent execution
+	// perturbs; use Parallel = 1 for timing studies.
+	Parallel int
+	// Progress, when non-nil, is called after each completed simulation
+	// with the count done so far and the fan-out total. Calls are
+	// serialized; use it for CLI progress lines.
+	Progress func(done, total int)
 }
 
 func (p Profile) toInternal() (experiments.Profile, error) {
@@ -41,6 +52,8 @@ func (p Profile) toInternal() (experiments.Profile, error) {
 	case EntryFixed:
 		ip.EntryPolicy = sim.EntryFixed
 	}
+	ip.Parallelism = p.Parallel
+	ip.Progress = p.Progress
 	return ip, ip.Validate()
 }
 

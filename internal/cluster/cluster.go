@@ -375,6 +375,7 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 		collector := metrics.NewCollector(
 			metrics.WithWindow(cfg.Window),
 			metrics.WithSampleEvery(cfg.SampleEvery),
+			metrics.WithExpectedRequests(uint64(s.Total())),
 		)
 		var (
 			cl  Driver
@@ -420,6 +421,9 @@ func splitSource(src workload.Source, n int) ([]workload.Source, error) {
 	}
 	all := trace.Drain(src)
 	parts := make([][]ids.ObjectID, n)
+	for i := range parts {
+		parts[i] = make([]ids.ObjectID, 0, (len(all)+n-1)/n)
+	}
 	for i, obj := range all {
 		parts[i%n] = append(parts[i%n], obj)
 	}

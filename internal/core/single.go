@@ -81,6 +81,7 @@ func (t *SingleTable) Remove(obj ids.ObjectID) *Entry {
 // table is full, the bottom entry drops out and is returned; otherwise the
 // return is nil. The caller must ensure e's object is not already present.
 func (t *SingleTable) InsertTop(e *Entry) (dropped *Entry) {
+	var n *singleNode
 	if t.size >= t.capacity {
 		last := t.tail.prev
 		t.unlink(last)
@@ -89,8 +90,13 @@ func (t *SingleTable) InsertTop(e *Entry) (dropped *Entry) {
 		}
 		t.size--
 		dropped = last.entry
+		// Reuse the node freed by the drop: at steady state (a full
+		// table, the common case) InsertTop allocates nothing.
+		last.entry = e
+		n = last
+	} else {
+		n = &singleNode{entry: e}
 	}
-	n := &singleNode{entry: e}
 	n.prev = t.head
 	n.next = t.head.next
 	t.head.next.prev = n

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/adc-sim/adc/internal/cluster"
@@ -25,7 +26,9 @@ type BaselinePoint struct {
 // hashing, the hierarchical tree, and the central coordinator — over the
 // same workload, quantifying the §II/§III design-space narrative: the
 // coordinator's bottleneck, the hierarchy's root pressure, hashing's
-// single-copy efficiency, ADC's adaptive middle ground.
+// single-copy efficiency, ADC's adaptive middle ground. The five runs are
+// independent and fan out over the profile's worker pool, each replaying
+// the shared materialized trace.
 func Baselines(p Profile) ([]BaselinePoint, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -34,16 +37,17 @@ func Baselines(p Profile) ([]BaselinePoint, error) {
 		cluster.ADC, cluster.CARP, cluster.CHash,
 		cluster.Hierarchical, cluster.Coordinator,
 	}
-	var out []BaselinePoint
-	for _, algo := range algos {
-		gen, err := p.NewWorkload()
+	tr, err := p.trace()
+	if err != nil {
+		return nil, err
+	}
+	fillEnd, _ := tr.Boundaries()
+	out := make([]BaselinePoint, len(algos))
+	err = p.forEach(len(algos), func(_ context.Context, i int) error {
+		algo := algos[i]
+		res, err := cluster.Run(p.ClusterConfig(algo, p.Tables(), uint64(fillEnd)), tr.Cursor())
 		if err != nil {
-			return nil, err
-		}
-		fillEnd, _ := gen.Boundaries()
-		res, err := cluster.Run(p.ClusterConfig(algo, p.Tables(), uint64(fillEnd)), gen)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: baseline %v: %w", algo, err)
+			return fmt.Errorf("experiments: baseline %v: %w", algo, err)
 		}
 		hit, hops := postFillRates(res, fillEnd)
 		var total, busiest uint64
@@ -57,12 +61,16 @@ func Baselines(p Profile) ([]BaselinePoint, error) {
 		if total > 0 {
 			share = float64(busiest) / float64(total)
 		}
-		out = append(out, BaselinePoint{
+		out[i] = BaselinePoint{
 			Algorithm:       algo,
 			HitRate:         hit,
 			Hops:            hops,
 			BottleneckShare: share,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

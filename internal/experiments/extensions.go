@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/adc-sim/adc/internal/cluster"
 	"github.com/adc-sim/adc/internal/core"
-	"github.com/adc-sim/adc/internal/workload"
 )
 
 // The experiments in this file go beyond the paper's figures: they cover
@@ -37,21 +37,26 @@ func MaxHopsSweep(p Profile, bounds []int) ([]MaxHopsPoint, error) {
 	if len(bounds) == 0 {
 		bounds = []int{1, 2, 3, 4, 6, 8, 0}
 	}
-	var out []MaxHopsPoint
-	for _, b := range bounds {
-		gen, err := p.NewWorkload()
-		if err != nil {
-			return nil, err
-		}
-		fillEnd, _ := gen.Boundaries()
+	tr, err := p.trace()
+	if err != nil {
+		return nil, err
+	}
+	fillEnd, _ := tr.Boundaries()
+	out := make([]MaxHopsPoint, len(bounds))
+	err = p.forEach(len(bounds), func(_ context.Context, i int) error {
+		b := bounds[i]
 		cfg := p.ClusterConfig(cluster.ADC, p.Tables(), uint64(fillEnd))
 		cfg.MaxHops = b
-		res, err := cluster.Run(cfg, gen)
+		res, err := cluster.Run(cfg, tr.Cursor())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: maxhops %d: %w", b, err)
+			return fmt.Errorf("experiments: maxhops %d: %w", b, err)
 		}
 		hit, hops := postFillRates(res, fillEnd)
-		out = append(out, MaxHopsPoint{MaxHops: b, HitRate: hit, Hops: hops})
+		out[i] = MaxHopsPoint{MaxHops: b, HitRate: hit, Hops: hops}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -88,34 +93,34 @@ func (p Profile) ablate(name string, disable func(*core.Config)) (*AblationResul
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	run := func(mutate func(*core.Config)) (float64, float64, error) {
-		gen, err := p.NewWorkload()
-		if err != nil {
-			return 0, 0, err
-		}
-		fillEnd, _ := gen.Boundaries()
+	tr, err := p.trace()
+	if err != nil {
+		return nil, err
+	}
+	fillEnd, _ := tr.Boundaries()
+	// arms[0] is the full algorithm, arms[1] the ablated one; the two
+	// runs are independent and fan out together.
+	arms := []func(*core.Config){nil, disable}
+	labels := []string{"full", "ablated"}
+	var hitRates, hopRates [2]float64
+	err = p.forEach(len(arms), func(_ context.Context, i int) error {
 		tables := p.Tables()
-		if mutate != nil {
-			mutate(&tables)
+		if arms[i] != nil {
+			arms[i](&tables)
 		}
-		res, err := cluster.Run(p.ClusterConfig(cluster.ADC, tables, uint64(fillEnd)), gen)
+		res, err := cluster.Run(p.ClusterConfig(cluster.ADC, tables, uint64(fillEnd)), tr.Cursor())
 		if err != nil {
-			return 0, 0, err
+			return fmt.Errorf("experiments: %s %s run: %w", name, labels[i], err)
 		}
-		hit, hops := postFillRates(res, fillEnd)
-		return hit, hops, nil
-	}
-	fullHit, fullHops, err := run(nil)
+		hitRates[i], hopRates[i] = postFillRates(res, fillEnd)
+		return nil
+	})
 	if err != nil {
-		return nil, fmt.Errorf("experiments: %s full run: %w", name, err)
-	}
-	ablHit, ablHops, err := run(disable)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: %s ablated run: %w", name, err)
+		return nil, err
 	}
 	return &AblationResult{
-		Name: name, Full: fullHit, Ablated: ablHit,
-		FullHops: fullHops, AblatedHops: ablHops,
+		Name: name, Full: hitRates[0], Ablated: hitRates[1],
+		FullHops: hopRates[0], AblatedHops: hopRates[1],
 	}, nil
 }
 
@@ -148,29 +153,34 @@ func BackendComparison(p Profile, requests int) ([]BackendPoint, error) {
 		{core.BackendSlice, false},    // binary search + O(1) LRU index
 		{core.BackendSkipList, false}, // the proposed replacement
 	}
-	var out []BackendPoint
-	for _, v := range variants {
-		wcfg := p.WorkloadConfig()
-		if requests > 0 {
-			wcfg.TotalRequests = p.scaled(requests)
-		}
-		gen, err := workload.New(wcfg)
-		if err != nil {
-			return nil, err
-		}
+	wcfg := p.WorkloadConfig()
+	if requests > 0 {
+		wcfg.TotalRequests = p.scaled(requests)
+	}
+	tr, err := p.traceFor(wcfg)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]BackendPoint, len(variants))
+	err = p.forEach(len(variants), func(_ context.Context, i int) error {
+		v := variants[i]
 		tables := p.Tables()
 		tables.Backend = v.backend
 		tables.SingleScan = v.scan
-		res, err := cluster.Run(p.ClusterConfig(cluster.ADC, tables, 0), gen)
+		res, err := cluster.Run(p.ClusterConfig(cluster.ADC, tables, 0), tr.Cursor())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: backend %v: %w", v.backend, err)
+			return fmt.Errorf("experiments: backend %v: %w", v.backend, err)
 		}
-		out = append(out, BackendPoint{
+		out[i] = BackendPoint{
 			Backend:    v.backend,
 			SingleScan: v.scan,
 			Elapsed:    res.Elapsed,
 			HitRate:    res.Summary.HitRate,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

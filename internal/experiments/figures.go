@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"github.com/adc-sim/adc/internal/cluster"
 	"github.com/adc-sim/adc/internal/core"
 	"github.com/adc-sim/adc/internal/metrics"
-	"github.com/adc-sim/adc/internal/workload"
 )
 
 // Comparison holds the data behind Figs. 11 (hit rate over the request
@@ -57,11 +57,11 @@ func Compare(p Profile, opts CompareOptions) (*Comparison, error) {
 		sampleEvery = uint64(p.Window)
 	}
 
-	gen, err := p.NewWorkload()
+	tr, err := p.trace()
 	if err != nil {
 		return nil, err
 	}
-	fillEnd, phase2End := gen.Boundaries()
+	fillEnd, phase2End := tr.Boundaries()
 	out := &Comparison{
 		FillEnd:     fillEnd,
 		Phase2End:   phase2End,
@@ -72,11 +72,20 @@ func Compare(p Profile, opts CompareOptions) (*Comparison, error) {
 	if opts.IncludeCHash {
 		algos = append(algos, cluster.CHash)
 	}
-	for _, algo := range algos {
-		res, err := p.run(p.ClusterConfig(algo, p.Tables(), sampleEvery))
+	results := make([]*cluster.Result, len(algos))
+	err = p.forEach(len(algos), func(_ context.Context, i int) error {
+		res, err := p.run(p.ClusterConfig(algos[i], p.Tables(), sampleEvery))
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %v run: %w", algo, err)
+			return fmt.Errorf("experiments: %v run: %w", algos[i], err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, algo := range algos {
+		res := results[i]
 		switch algo {
 		case cluster.ADC:
 			out.ADC = res.Series
@@ -162,15 +171,27 @@ func Sweep(p Profile, opts SweepOptions) ([]SweepPoint, error) {
 		tables = AllTables()
 	}
 
-	var out []SweepPoint
+	type job struct {
+		tbl  TableName
+		size int
+	}
+	jobs := make([]job, 0, len(tables)*len(sizes))
 	for _, tbl := range tables {
 		for _, size := range sizes {
-			pt, err := p.sweepOne(tbl, size, opts)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, pt)
+			jobs = append(jobs, job{tbl, size})
 		}
+	}
+	out := make([]SweepPoint, len(jobs))
+	err := p.forEach(len(jobs), func(_ context.Context, i int) error {
+		pt, err := p.sweepOne(jobs[i].tbl, jobs[i].size, opts)
+		if err != nil {
+			return err
+		}
+		out[i] = pt
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -197,16 +218,16 @@ func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (Swee
 	if opts.Requests > 0 {
 		wcfg.TotalRequests = p.scaled(opts.Requests)
 	}
-	gen, err := workload.New(wcfg)
+	tr, err := p.traceFor(wcfg)
 	if err != nil {
 		return SweepPoint{}, err
 	}
-	fillEnd, _ := gen.Boundaries()
+	fillEnd, _ := tr.Boundaries()
 
 	// Sample exactly at the fill boundary so post-fill rates are exact.
 	sampleEvery := uint64(fillEnd)
 	ccfg := p.ClusterConfig(cluster.ADC, tables, sampleEvery)
-	res, err := cluster.Run(ccfg, gen)
+	res, err := cluster.Run(ccfg, tr.Cursor())
 	if err != nil {
 		return SweepPoint{}, fmt.Errorf("experiments: sweep %s=%d: %w", tbl, size, err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/adc-sim/adc/internal/cluster"
@@ -35,11 +36,11 @@ func PreLearned(p Profile) (*PreLearnedResult, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	gen, err := p.NewWorkload()
+	tr, err := p.trace()
 	if err != nil {
 		return nil, err
 	}
-	objs := trace.Drain(gen)
+	objs := tr.Objects()
 	doubled := make([]ids.ObjectID, 0, 2*len(objs))
 	doubled = append(doubled, objs...)
 	doubled = append(doubled, objs...)
@@ -94,28 +95,35 @@ func ProxyCountSweep(p Profile, counts []int) ([]ProxyCountPoint, error) {
 		m: ref.MultipleSize * p.Proxies,
 		c: ref.CachingSize * p.Proxies,
 	}
-	var out []ProxyCountPoint
 	for _, n := range counts {
 		if n <= 0 {
 			return nil, fmt.Errorf("experiments: invalid proxy count %d", n)
 		}
-		gen, err := p.NewWorkload()
-		if err != nil {
-			return nil, err
-		}
-		fillEnd, _ := gen.Boundaries()
+	}
+	tr, err := p.trace()
+	if err != nil {
+		return nil, err
+	}
+	fillEnd, _ := tr.Boundaries()
+	out := make([]ProxyCountPoint, len(counts))
+	err = p.forEach(len(counts), func(_ context.Context, i int) error {
+		n := counts[i]
 		tables := ref
 		tables.SingleSize = maxInt(1, refTotal.s/n)
 		tables.MultipleSize = maxInt(1, refTotal.m/n)
 		tables.CachingSize = maxInt(1, refTotal.c/n)
 		cfg := p.ClusterConfig(cluster.ADC, tables, uint64(fillEnd))
 		cfg.NumProxies = n
-		res, err := cluster.Run(cfg, gen)
+		res, err := cluster.Run(cfg, tr.Cursor())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %d proxies: %w", n, err)
+			return fmt.Errorf("experiments: %d proxies: %w", n, err)
 		}
 		hit, hops := postFillRates(res, fillEnd)
-		out = append(out, ProxyCountPoint{Proxies: n, HitRate: hit, Hops: hops})
+		out[i] = ProxyCountPoint{Proxies: n, HitRate: hit, Hops: hops}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

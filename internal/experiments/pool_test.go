@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// stripElapsed zeroes the wall-clock field, the only one concurrent
+// execution is allowed to perturb.
+func stripElapsed(pts []SweepPoint) []SweepPoint {
+	out := make([]SweepPoint, len(pts))
+	copy(out, pts)
+	for i := range out {
+		out[i].Elapsed = 0
+	}
+	return out
+}
+
+func TestSweepParallelMatchesSequential(t *testing.T) {
+	p := tinyProfile()
+	p.Parallelism = 1
+	want, err := Sweep(p, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := stripElapsed(want)
+	for _, workers := range []int{2, 4} {
+		p.Parallelism = workers
+		got, err := Sweep(p, SweepOptions{})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		par := stripElapsed(got)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Errorf("workers=%d point %d: got %+v, want %+v", workers, i, par[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestBaselinesParallelMatchesSequential(t *testing.T) {
+	p := tinyProfile()
+	p.Parallelism = 1
+	want, err := Baselines(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		p.Parallelism = workers
+		got, err := Baselines(p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d points, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d point %d: got %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunPoolFirstErrorSkipsRemaining(t *testing.T) {
+	boom := errors.New("boom")
+	executed := 0
+	// One worker makes execution strictly sequential: job 0 fails,
+	// cancelling the pool before any later index can run.
+	err := runPool(context.Background(), 1, 8, nil, func(ctx context.Context, i int) error {
+		executed++
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if executed != 1 {
+		t.Errorf("executed %d jobs after first error, want 1", executed)
+	}
+}
+
+func TestRunPoolPropagatesErrorAcrossWorkers(t *testing.T) {
+	boom := errors.New("boom")
+	err := runPool(context.Background(), 4, 16, nil, func(ctx context.Context, i int) error {
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestRunPoolCancelledParent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	executed := 0
+	err := runPool(ctx, 2, 4, nil, func(ctx context.Context, i int) error {
+		executed++
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if executed != 0 {
+		t.Errorf("executed %d jobs under a cancelled parent, want 0", executed)
+	}
+}
+
+func TestRunPoolProgressMonotonic(t *testing.T) {
+	const n = 10
+	var dones []int
+	// Progress calls are serialized under the pool's mutex, so the
+	// slice append needs no extra locking.
+	err := runPool(context.Background(), 4, n, func(done, total int) {
+		if total != n {
+			t.Errorf("total = %d, want %d", total, n)
+		}
+		dones = append(dones, done)
+	}, func(ctx context.Context, i int) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) != n {
+		t.Fatalf("progress called %d times, want %d", len(dones), n)
+	}
+	for i, d := range dones {
+		if d != i+1 {
+			t.Fatalf("progress sequence %v not monotonic", dones)
+		}
+	}
+}
+
+func TestWorkersResolution(t *testing.T) {
+	p := Profile{Parallelism: 8}
+	if got := p.workers(3); got != 3 {
+		t.Errorf("workers clamp to job count: got %d, want 3", got)
+	}
+	p.Parallelism = 1
+	if got := p.workers(5); got != 1 {
+		t.Errorf("sequential profile: got %d workers, want 1", got)
+	}
+	p.Parallelism = 0
+	if got := p.workers(5); got < 1 || got > 5 {
+		t.Errorf("default width %d outside [1,5]", got)
+	}
+}

@@ -53,6 +53,19 @@ type Profile struct {
 	// Backend selects the ordered-table backend for non-timing
 	// experiments (timing experiments force the paper-faithful ones).
 	Backend core.Backend
+	// Parallelism bounds how many independent simulations an experiment
+	// runs concurrently. 0 means GOMAXPROCS; 1 forces the sequential
+	// path. Whatever the width, results are bit-identical: every run is
+	// seeded exactly as in the sequential path and results are slotted
+	// by index, not arrival order. Only wall-clock timing fields
+	// (SweepPoint.Elapsed, BackendPoint.Elapsed) are perturbed by
+	// concurrent execution; run timing studies with Parallelism 1 when
+	// their absolute values matter.
+	Parallelism int
+	// Progress, when non-nil, is called after each completed simulation
+	// of a fan-out with the number done so far and the total. Calls are
+	// serialized and done is monotonic.
+	Progress func(done, total int)
 }
 
 // DefaultProfile returns the standard laptop-scale campaign.
@@ -116,6 +129,29 @@ func (p Profile) NewWorkload() (*workload.Generator, error) {
 	return workload.New(p.WorkloadConfig())
 }
 
+// traceCache shares materialized request streams across all experiments in
+// the process: a figure campaign runs dozens of simulations over a handful
+// of distinct workload configs, so each stream is generated once and
+// replayed through cursors. Four entries cover the default campaign (the
+// reference trace plus the shorter timing/backend traces) while bounding
+// memory at full paper scale (~32 MB per 3.99 M-request trace).
+var traceCache = workload.NewTraceCache(4)
+
+// PurgeTraceCache drops every materialized trace, releasing memory between
+// campaigns.
+func PurgeTraceCache() { traceCache.Purge() }
+
+// trace returns the profile's materialized reference workload.
+func (p Profile) trace() (*workload.Trace, error) {
+	return traceCache.Get(p.WorkloadConfig())
+}
+
+// traceFor materializes (or re-uses) the stream for an explicit workload
+// config, for experiments that override the reference trace length.
+func (p Profile) traceFor(cfg workload.Config) (*workload.Trace, error) {
+	return traceCache.Get(cfg)
+}
+
 // ClusterConfig assembles the cluster configuration for one run.
 func (p Profile) ClusterConfig(algo cluster.Algorithm, tables core.Config, sampleEvery uint64) cluster.Config {
 	return cluster.Config{
@@ -129,11 +165,12 @@ func (p Profile) ClusterConfig(algo cluster.Algorithm, tables core.Config, sampl
 	}
 }
 
-// run executes one simulation with the profile's workload.
+// run executes one simulation with a cursor over the profile's shared
+// materialized workload.
 func (p Profile) run(cfg cluster.Config) (*cluster.Result, error) {
-	gen, err := p.NewWorkload()
+	tr, err := p.trace()
 	if err != nil {
 		return nil, err
 	}
-	return cluster.Run(cfg, gen)
+	return cluster.Run(cfg, tr.Cursor())
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/adc-sim/adc/internal/cluster"
@@ -42,20 +43,30 @@ func ResponseTime(p Profile, opts ResponseOptions) (*ResponseResult, error) {
 		return nil, err
 	}
 	out := &ResponseResult{OpenLoop: opts.OpenLoopInterval > 0}
-	for _, algo := range []cluster.Algorithm{cluster.ADC, cluster.CARP} {
-		gen, err := p.NewWorkload()
-		if err != nil {
-			return nil, err
-		}
-		cfg := p.ClusterConfig(algo, p.Tables(), 0)
+	tr, err := p.trace()
+	if err != nil {
+		return nil, err
+	}
+	algos := []cluster.Algorithm{cluster.ADC, cluster.CARP}
+	results := make([]*cluster.Result, len(algos))
+	err = p.forEach(len(algos), func(_ context.Context, i int) error {
+		cfg := p.ClusterConfig(algos[i], p.Tables(), 0)
 		cfg.Runtime = cluster.RuntimeVirtualTime
 		cfg.Latency = opts.Latency
 		cfg.OpenLoopInterval = opts.OpenLoopInterval
 		cfg.Poisson = opts.Poisson
-		res, err := cluster.Run(cfg, gen)
+		res, err := cluster.Run(cfg, tr.Cursor())
 		if err != nil {
-			return nil, fmt.Errorf("experiments: response %v: %w", algo, err)
+			return fmt.Errorf("experiments: response %v: %w", algos[i], err)
 		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, algo := range algos {
+		res := results[i]
 		switch algo {
 		case cluster.ADC:
 			out.ADCMean = res.Summary.MeanResponse

@@ -40,6 +40,7 @@ type Collector struct {
 	pathLens *stats.Online
 
 	sampleEvery uint64
+	expected    uint64
 	series      []Point
 
 	// response accumulates per-request response times in virtual ticks
@@ -67,6 +68,13 @@ func WithSampleEvery(n uint64) Option {
 	return func(c *Collector) { c.sampleEvery = n }
 }
 
+// WithExpectedRequests declares how many requests the run will record, so
+// the series slice is allocated once at its final capacity instead of
+// growing append by append on the hot path.
+func WithExpectedRequests(n uint64) Option {
+	return func(c *Collector) { c.expected = n }
+}
+
 // NewCollector returns a ready Collector.
 func NewCollector(opts ...Option) *Collector {
 	c := &Collector{
@@ -78,6 +86,9 @@ func NewCollector(opts ...Option) *Collector {
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.expected > 0 && c.sampleEvery > 0 {
+		c.series = make([]Point, 0, c.expected/c.sampleEvery)
 	}
 	return c
 }
