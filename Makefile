@@ -3,7 +3,11 @@
 
 GO ?= go
 
-.PHONY: all build test race vet bench figures clean
+# Engine hot-path benchmarks tracked in BENCH_engine.json (see DESIGN.md
+# "Engine internals" and EXPERIMENTS.md "Profiling the engine").
+ENGINE_BENCH = BenchmarkVEngine|BenchmarkEngineADC|BenchmarkClusterRun
+
+.PHONY: all build test race vet bench bench-sweep bench-profile figures clean
 
 all: build test
 
@@ -19,14 +23,32 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Engine hot-path benchmarks: runs the sim and cluster benchmarks and
+# records name, ns/op and allocs/op plus the git SHA in BENCH_engine.json.
+# BENCH_baseline.json (the pre-optimization numbers) is embedded under
+# "baseline" so the file carries both before and after measurements.
+bench:
+	{ $(GO) version; \
+	  $(GO) test -bench '$(ENGINE_BENCH)' -run '^$$' ./internal/sim/ ./internal/cluster/; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json > BENCH_engine.json
+	@cat BENCH_engine.json
+
 # Sweep benchmarks compare the sequential and parallel runners; the rest
 # regenerate every headline number in EXPERIMENTS.md.
-bench:
+bench-sweep:
 	$(GO) test -bench=. -benchtime=1x -run=^$$ .
+
+# CPU + heap profiles of the engine benchmarks, for pprof inspection:
+#   go tool pprof -top cpu.out
+#   go tool pprof -top -sample_index=alloc_objects mem.out
+bench-profile:
+	$(GO) test -bench '$(ENGINE_BENCH)' -run '^$$' \
+		-cpuprofile cpu.out -memprofile mem.out ./internal/sim/
+	@echo "wrote cpu.out and mem.out"
 
 figures:
 	$(GO) run ./cmd/adcfigures
 
 clean:
 	$(GO) clean ./...
-	rm -rf figures/*.csv
+	rm -rf figures/*.csv cpu.out mem.out sim.test

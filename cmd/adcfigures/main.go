@@ -84,17 +84,23 @@ func run(args []string) error {
 }
 
 // progressLine returns a Profile.Progress callback that rewrites one
-// carriage-returned status line per fan-out with run counts and
-// throughput, terminating the line when the fan-out completes.
-func progressLine(w *os.File) func(done, total int) {
+// carriage-returned status line per fan-out with run counts, the resolved
+// pool width and engine throughput, terminating the line when the fan-out
+// completes.
+func progressLine(w *os.File) func(adc.Progress) {
 	var start time.Time
-	return func(done, total int) {
-		if done == 1 || start.IsZero() {
+	return func(p adc.Progress) {
+		if p.Done == 1 || start.IsZero() {
 			start = time.Now()
 		}
-		rate := float64(done) / time.Since(start).Seconds()
-		fmt.Fprintf(w, "\rrun %d/%d  %.1f runs/s", done, total, rate)
-		if done == total {
+		elapsed := time.Since(start).Seconds()
+		line := fmt.Sprintf("\rrun %d/%d  %d workers  %.1f runs/s",
+			p.Done, p.Total, p.Workers, float64(p.Done)/elapsed)
+		if p.Events > 0 {
+			line += fmt.Sprintf("  %.1fM events/s", float64(p.Events)/elapsed/1e6)
+		}
+		fmt.Fprint(w, line)
+		if p.Done == p.Total {
 			fmt.Fprintln(w)
 			start = time.Time{}
 		}

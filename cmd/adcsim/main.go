@@ -22,6 +22,7 @@ import (
 	"github.com/adc-sim/adc/internal/cluster"
 	"github.com/adc-sim/adc/internal/config"
 	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/profiling"
 	"github.com/adc-sim/adc/internal/workload"
 )
 
@@ -51,6 +52,8 @@ func run(args []string) error {
 		configPath = fs.String("config", "", "run a JSON experiment file instead of flags")
 		writeCfg   = fs.String("write-config", "", "write the default experiment file and exit")
 		dump       = fs.Int("dump", -1, "after an ADC run, dump the top rows of this proxy's tables (paper Figs. 1–3)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,17 +66,27 @@ func run(args []string) error {
 		fmt.Printf("wrote default experiment to %s\n", *writeCfg)
 		return nil
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
 	if *configPath != "" {
-		return runConfigFile(*configPath, *verbose)
+		if err := runConfigFile(*configPath, *verbose); err != nil {
+			return err
+		}
+		return stopProfiles()
 	}
 	if *dump >= 0 {
-		return runWithDump(dumpOptions{
+		if err := runWithDump(dumpOptions{
 			algo: *algo, proxies: *proxies,
 			single: *single, multiple: *multiple, caching: *caching,
 			maxHops: *maxHops, seed: *seed,
 			requests: *requests, population: *population,
 			proxyIdx: *dump,
-		})
+		}); err != nil {
+			return err
+		}
+		return stopProfiles()
 	}
 
 	var src adc.Source
@@ -108,6 +121,9 @@ func run(args []string) error {
 	}
 	res, err := adc.Run(cfg, src)
 	if err != nil {
+		return err
+	}
+	if err := stopProfiles(); err != nil {
 		return err
 	}
 

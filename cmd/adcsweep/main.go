@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/adc-sim/adc"
+	"github.com/adc-sim/adc/internal/profiling"
 )
 
 func main() {
@@ -32,12 +33,14 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("adcsweep", flag.ContinueOnError)
 	var (
-		scale    = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		proxies  = fs.Int("proxies", 5, "number of proxies")
-		metric   = fs.String("metric", "hits", "metric: hits, hops or time")
-		csvPath  = fs.String("csv", "", "also write CSV to this file")
-		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
+		scale      = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
+		seed       = fs.Int64("seed", 1, "random seed")
+		proxies    = fs.Int("proxies", 5, "number of proxies")
+		metric     = fs.String("metric", "hits", "metric: hits, hops or time")
+		csvPath    = fs.String("csv", "", "also write CSV to this file")
+		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,14 +50,15 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown metric %q (want hits, hops or time)", *metric)
 	}
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
 
 	profile := adc.Profile{Scale: *scale, Seed: *seed, Proxies: *proxies, Parallel: *parallel}
 	profile.Progress = progressLine(os.Stderr)
 
-	var (
-		pts []adc.SweepPoint
-		err error
-	)
+	var pts []adc.SweepPoint
 	if *metric == "time" {
 		fmt.Println("running Fig. 15 timing sweep on paper-faithful O(n) tables; this is deliberately slow…")
 		pts, err = adc.TimingSweep(profile)
@@ -63,6 +67,9 @@ func run(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr)
 	if err != nil {
+		return err
+	}
+	if err := stopProfiles(); err != nil {
 		return err
 	}
 
@@ -109,13 +116,17 @@ func run(args []string) error {
 }
 
 // progressLine returns a Profile.Progress callback that rewrites one
-// carriage-returned status line with run counts and throughput.
-func progressLine(w *os.File) func(done, total int) {
+// carriage-returned status line with run counts, the resolved pool width
+// and engine throughput.
+func progressLine(w *os.File) func(adc.Progress) {
 	start := time.Now()
-	return func(done, total int) {
+	return func(p adc.Progress) {
 		elapsed := time.Since(start).Seconds()
-		rate := float64(done) / elapsed
-		fmt.Fprintf(w, "\rrun %d/%d  %.1f runs/s  %s elapsed",
-			done, total, rate, time.Since(start).Round(time.Second))
+		line := fmt.Sprintf("\rrun %d/%d  %d workers  %.1f runs/s",
+			p.Done, p.Total, p.Workers, float64(p.Done)/elapsed)
+		if p.Events > 0 {
+			line += fmt.Sprintf("  %.1fM events/s", float64(p.Events)/elapsed/1e6)
+		}
+		fmt.Fprintf(w, "%s  %s elapsed", line, time.Since(start).Round(time.Second))
 	}
 }

@@ -1,0 +1,165 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// record suitable for tracking benchmark results in the repository
+// (BENCH_engine.json). Each benchmark line becomes one entry with its
+// ns/op and allocs/op plus the git commit the numbers were measured at.
+//
+// Usage:
+//
+//	go test -bench 'BenchmarkVEngine|BenchmarkEngineADC' -run '^$' ./internal/sim/ | benchjson > BENCH_engine.json
+//
+// Lines that are not benchmark results (the goos/pkg header, PASS/ok
+// trailers) pass through unparsed; anything that parses is recorded.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	Name     string  `json:"name"`
+	Iters    int64   `json:"iterations"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BytesOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric values (e.g. events/s, ns/event).
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// File is the BENCH_engine.json schema.
+type File struct {
+	GitSHA     string  `json:"git_sha"`
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version,omitempty"`
+	Benchmarks []Entry `json:"benchmarks"`
+	// Baseline embeds the pre-optimization numbers the current ones are
+	// compared against (-baseline flag).
+	Baseline *File `json:"baseline,omitempty"`
+}
+
+func main() {
+	sha := flag.String("sha", "", "record this commit instead of git rev-parse HEAD")
+	baseline := flag.String("baseline", "", "embed this prior BENCH_engine.json as the baseline")
+	flag.Parse()
+	if err := run(*sha, *baseline); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(sha, baselinePath string) error {
+	if sha == "" {
+		sha = gitSHA()
+	}
+	out := File{
+		GitSHA: sha,
+		Date:   time.Now().UTC().Format(time.RFC3339),
+	}
+	if baselinePath != "" {
+		data, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return err
+		}
+		var base File
+		if err := json.Unmarshal(data, &base); err != nil {
+			return fmt.Errorf("parse baseline %s: %w", baselinePath, err)
+		}
+		base.Baseline = nil // one level of history only
+		out.Baseline = &base
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "go: ") || strings.HasPrefix(line, "goos:") {
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "go version "); ok {
+			out.GoVersion = strings.Fields(v)[0]
+			continue
+		}
+		if e, ok := parseBenchLine(line); ok {
+			out.Benchmarks = append(out.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(out.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkVEngineADC-8  16  70250639 ns/op  4341913 events/s  22666666 B/op  197591 allocs/op
+func parseBenchLine(line string) (Entry, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Entry{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Entry{}, false
+	}
+	e := Entry{
+		Name:  trimProcsSuffix(fields[0]),
+		Iters: iters,
+	}
+	// Results come as (value, unit) pairs after the iteration count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Entry{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+		case "B/op":
+			e.BytesOp = v
+		case "allocs/op":
+			e.AllocsOp = v
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = v
+		}
+	}
+	if e.NsPerOp == 0 {
+		return Entry{}, false
+	}
+	return e, true
+}
+
+// trimProcsSuffix strips the numeric -N GOMAXPROCS suffix go test appends
+// to benchmark names, so entries compare across machines.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// gitSHA returns the current commit, or "unknown" outside a git checkout.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}

@@ -29,9 +29,23 @@ type Profile struct {
 	// perturbs; use Parallel = 1 for timing studies.
 	Parallel int
 	// Progress, when non-nil, is called after each completed simulation
-	// with the count done so far and the fan-out total. Calls are
-	// serialized; use it for CLI progress lines.
-	Progress func(done, total int)
+	// with the fan-out state so far. Calls are serialized; use it for CLI
+	// progress lines.
+	Progress func(info Progress)
+}
+
+// Progress is the state of a running fan-out after one more completed
+// simulation.
+type Progress struct {
+	// Done counts completed simulations; Total is the fan-out size.
+	Done, Total int
+	// Workers is the resolved worker-pool width (the Parallel knob after
+	// defaulting to GOMAXPROCS and clamping to the fan-out size).
+	Workers int
+	// Events is the cumulative number of engine message deliveries across
+	// completed simulations; divide by elapsed wall clock for the
+	// engine's events/sec throughput.
+	Events uint64
 }
 
 func (p Profile) toInternal() (experiments.Profile, error) {
@@ -53,7 +67,16 @@ func (p Profile) toInternal() (experiments.Profile, error) {
 		ip.EntryPolicy = sim.EntryFixed
 	}
 	ip.Parallelism = p.Parallel
-	ip.Progress = p.Progress
+	if cb := p.Progress; cb != nil {
+		ip.Progress = func(info experiments.ProgressInfo) {
+			cb(Progress{
+				Done:    info.Done,
+				Total:   info.Total,
+				Workers: info.Workers,
+				Events:  info.Events,
+			})
+		}
+	}
 	return ip, ip.Validate()
 }
 

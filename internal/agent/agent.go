@@ -8,7 +8,7 @@
 // Under closed-loop injection the runtime is confluent: messages of one
 // request chain are causally ordered, so every node observes the same
 // sequence of events as under the sequential engine and the metrics are
-// bit-identical (asserted by the integration tests, DESIGN.md §7.5).
+// bit-identical (asserted by the integration tests, DESIGN.md §9.5).
 package agent
 
 import (
@@ -26,11 +26,13 @@ import (
 // from stalling senders.
 const DefaultMailbox = 1024
 
-// Runtime hosts a set of nodes, one goroutine each.
+// Runtime hosts a set of nodes, one goroutine each. Dispatch uses the same
+// dense ids.Table as the sequential engines, so the per-send mailbox lookup
+// is an array index rather than a map probe.
 type Runtime struct {
 	mailbox int
-	nodes   map[ids.NodeID]sim.Node
-	boxes   map[ids.NodeID]chan msg.Message
+	nodes   ids.Table[sim.Node]
+	boxes   ids.Table[chan msg.Message]
 	wg      sync.WaitGroup
 }
 
@@ -39,20 +41,15 @@ func New(mailbox int) *Runtime {
 	if mailbox <= 0 {
 		mailbox = DefaultMailbox
 	}
-	return &Runtime{
-		mailbox: mailbox,
-		nodes:   make(map[ids.NodeID]sim.Node),
-		boxes:   make(map[ids.NodeID]chan msg.Message),
-	}
+	return &Runtime{mailbox: mailbox}
 }
 
 // Register adds a node before Run.
 func (r *Runtime) Register(n sim.Node) error {
-	if _, dup := r.nodes[n.ID()]; dup {
+	if !r.nodes.Put(n.ID(), n) {
 		return fmt.Errorf("agent: duplicate node %v", n.ID())
 	}
-	r.nodes[n.ID()] = n
-	r.boxes[n.ID()] = make(chan msg.Message, r.mailbox)
+	r.boxes.Put(n.ID(), make(chan msg.Message, r.mailbox))
 	return nil
 }
 
@@ -64,7 +61,7 @@ var _ sim.Context = sender{}
 
 func (s sender) Send(m msg.Message) {
 	sim.CountHop(m)
-	box, ok := s.r.boxes[m.Dest()]
+	box, ok := s.r.boxes.Get(m.Dest())
 	if !ok {
 		// Unroutable messages indicate a wiring bug; the sequential
 		// engine turns them into an error, here we must not block a
@@ -86,7 +83,8 @@ func (s sender) Send(m msg.Message) {
 // them, which closed-loop injection rules out.
 func (r *Runtime) Run(done <-chan struct{}) {
 	stop := make(chan struct{})
-	for id, n := range r.nodes {
+	r.nodes.Ascending(func(id ids.NodeID, n sim.Node) {
+		box, _ := r.boxes.Get(id)
 		r.wg.Add(1)
 		go func(n sim.Node, box chan msg.Message) {
 			defer r.wg.Done()
@@ -108,17 +106,18 @@ func (r *Runtime) Run(done <-chan struct{}) {
 					}
 				}
 			}
-		}(n, r.boxes[id])
-	}
+		}(n, box)
+	})
 
 	// Inject initial traffic from a dedicated context, mirroring
-	// sim.Engine.Run. Starters run outside any node goroutine.
+	// sim.Engine.Run: Starters fire in ascending NodeID order, outside
+	// any node goroutine.
 	ctx := sender{r: r}
-	for _, n := range r.nodes {
+	r.nodes.Ascending(func(_ ids.NodeID, n sim.Node) {
 		if s, ok := n.(sim.Starter); ok {
 			s.Start(ctx)
 		}
-	}
+	})
 
 	<-done
 	close(stop)

@@ -94,12 +94,13 @@ func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
 	// Local cache first.
 	if _, ok := p.cache.Get(req.Object); ok {
 		p.stats.LocalHits++
-		rep := msg.ReplyTo(req)
+		rep := sim.Resolve(ctx, req)
 		rep.Resolver = p.id
 		rep.Cached = true
-		// Reply directly to the client, bypassing any first proxy.
-		rep.Path = nil
-		rep.To = req.Client
+		// Reply directly to the client, bypassing any first proxy. Keep
+		// the (empty) path's backing array so it recycles with the reply.
+		rep.Path = rep.Path[:0]
+		rep.To = rep.Client
 		ctx.Send(rep)
 		return
 	}
@@ -134,7 +135,7 @@ func (p *Proxy) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	p.stats.CacheInsertions++
 	rep.Resolver = p.id
 	rep.Cached = true
-	rep.Path = nil
+	rep.Path = rep.Path[:0]
 	rep.To = rep.Client
 	ctx.Send(rep)
 }

@@ -1,0 +1,82 @@
+package cluster_test
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/cluster"
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+func benchTrace(n int) []ids.ObjectID {
+	objs := make([]ids.ObjectID, n)
+	state := uint64(0x9E3779B97F4A7C15)
+	for i := range objs {
+		state = state*6364136223846793005 + 1442695040888963407
+		objs[i] = ids.ObjectID(state % 1000)
+	}
+	return objs
+}
+
+func benchConfig(algo cluster.Algorithm, rt cluster.Runtime) cluster.Config {
+	return cluster.Config{
+		Algorithm:  algo,
+		NumProxies: 5,
+		Tables: core.Config{
+			SingleSize:   2000,
+			MultipleSize: 2000,
+			CachingSize:  1000,
+		},
+		Seed:    1,
+		Runtime: rt,
+	}
+}
+
+// BenchmarkClusterRun measures one complete ADC simulation through the
+// cluster layer on the sequential engine — the configuration every sweep
+// point of the Figs. 13–15 experiments runs. Tracked in BENCH_engine.json.
+func BenchmarkClusterRun(b *testing.B) {
+	objs := benchTrace(20_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(benchConfig(cluster.ADC, cluster.RuntimeSequential),
+			trace.NewSliceSource(objs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Requests != 20_000 {
+			b.Fatalf("requests = %d", res.Summary.Requests)
+		}
+	}
+}
+
+// BenchmarkClusterRunVTime is the same simulation on the virtual-time
+// engine, adding the event heap and latency model to the hot path.
+func BenchmarkClusterRunVTime(b *testing.B) {
+	objs := benchTrace(20_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.Run(benchConfig(cluster.ADC, cluster.RuntimeVirtualTime),
+			trace.NewSliceSource(objs))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Summary.Requests != 20_000 {
+			b.Fatalf("requests = %d", res.Summary.Requests)
+		}
+	}
+}
+
+// BenchmarkClusterRunCARP keeps the hashing baseline on the fast path too:
+// CARP shares the identical dispatch and message machinery.
+func BenchmarkClusterRunCARP(b *testing.B) {
+	objs := benchTrace(20_000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(benchConfig(cluster.CARP, cluster.RuntimeSequential),
+			trace.NewSliceSource(objs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -214,6 +214,10 @@ type Result struct {
 	ProxyStats []metrics.ProxyStats
 	// OriginResolved counts requests the origin server answered.
 	OriginResolved uint64
+	// Delivered counts engine message deliveries (zero on the concurrent
+	// runtimes, which do not track a global delivery counter). Progress
+	// displays use it to report events/sec.
+	Delivered uint64
 	// Algorithm echoes the scheme that produced the result.
 	Algorithm Algorithm
 	// Elapsed is the wall-clock duration of the run.
@@ -460,6 +464,7 @@ func (c *Cluster) Clients() []Driver { return c.clients }
 // A cluster is single-shot: build a fresh one per run.
 func (c *Cluster) Run() (*Result, error) {
 	start := time.Now()
+	var delivered uint64
 	switch c.cfg.Runtime {
 	case RuntimeSequential:
 		eng := sim.NewEngine()
@@ -477,6 +482,7 @@ func (c *Cluster) Run() (*Result, error) {
 		if c.churn != nil && c.churn.err != nil {
 			return nil, c.churn.err
 		}
+		delivered = eng.Delivered()
 	case RuntimeVirtualTime:
 		latency := c.cfg.Latency
 		if latency == (sim.LatencyModel{}) {
@@ -491,6 +497,7 @@ func (c *Cluster) Run() (*Result, error) {
 		if err := eng.Run(); err != nil {
 			return nil, err
 		}
+		delivered = eng.Delivered()
 	case RuntimeAgents, RuntimeTCP:
 		if err := c.runConcurrent(); err != nil {
 			return nil, err
@@ -505,7 +512,9 @@ func (c *Cluster) Run() (*Result, error) {
 			return nil, fmt.Errorf("cluster: client %v did not finish its trace", cl.ID())
 		}
 	}
-	return c.collect(elapsed), nil
+	res := c.collect(elapsed)
+	res.Delivered = delivered
+	return res, nil
 }
 
 // concurrentRuntime is the shared shape of the goroutine and TCP runtimes:

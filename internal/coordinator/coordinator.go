@@ -113,7 +113,7 @@ func (w *Worker) Handle(ctx sim.Context, m msg.Message) {
 		w.stats.Requests++
 		if _, ok := w.cache.Get(t.Object); ok {
 			w.stats.LocalHits++
-			rep := msg.ReplyTo(t)
+			rep := sim.Resolve(ctx, t)
 			rep.Resolver = w.id
 			rep.Cached = true
 			next, _ := rep.NextBackward()

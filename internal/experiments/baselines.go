@@ -43,11 +43,11 @@ func Baselines(p Profile) ([]BaselinePoint, error) {
 	}
 	fillEnd, _ := tr.Boundaries()
 	out := make([]BaselinePoint, len(algos))
-	err = p.forEach(len(algos), func(_ context.Context, i int) error {
+	err = p.forEach("baselines", len(algos), func(_ context.Context, i int) (uint64, error) {
 		algo := algos[i]
 		res, err := cluster.Run(p.ClusterConfig(algo, p.Tables(), uint64(fillEnd)), tr.Cursor())
 		if err != nil {
-			return fmt.Errorf("experiments: baseline %v: %w", algo, err)
+			return 0, fmt.Errorf("experiments: baseline %v: %w", algo, err)
 		}
 		hit, hops := postFillRates(res, fillEnd)
 		var total, busiest uint64
@@ -67,7 +67,7 @@ func Baselines(p Profile) ([]BaselinePoint, error) {
 			Hops:            hops,
 			BottleneckShare: share,
 		}
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err

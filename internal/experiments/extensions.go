@@ -43,17 +43,17 @@ func MaxHopsSweep(p Profile, bounds []int) ([]MaxHopsPoint, error) {
 	}
 	fillEnd, _ := tr.Boundaries()
 	out := make([]MaxHopsPoint, len(bounds))
-	err = p.forEach(len(bounds), func(_ context.Context, i int) error {
+	err = p.forEach("maxhops", len(bounds), func(_ context.Context, i int) (uint64, error) {
 		b := bounds[i]
 		cfg := p.ClusterConfig(cluster.ADC, p.Tables(), uint64(fillEnd))
 		cfg.MaxHops = b
 		res, err := cluster.Run(cfg, tr.Cursor())
 		if err != nil {
-			return fmt.Errorf("experiments: maxhops %d: %w", b, err)
+			return 0, fmt.Errorf("experiments: maxhops %d: %w", b, err)
 		}
 		hit, hops := postFillRates(res, fillEnd)
 		out[i] = MaxHopsPoint{MaxHops: b, HitRate: hit, Hops: hops}
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err
@@ -103,17 +103,17 @@ func (p Profile) ablate(name string, disable func(*core.Config)) (*AblationResul
 	arms := []func(*core.Config){nil, disable}
 	labels := []string{"full", "ablated"}
 	var hitRates, hopRates [2]float64
-	err = p.forEach(len(arms), func(_ context.Context, i int) error {
+	err = p.forEach("ablation:"+name, len(arms), func(_ context.Context, i int) (uint64, error) {
 		tables := p.Tables()
 		if arms[i] != nil {
 			arms[i](&tables)
 		}
 		res, err := cluster.Run(p.ClusterConfig(cluster.ADC, tables, uint64(fillEnd)), tr.Cursor())
 		if err != nil {
-			return fmt.Errorf("experiments: %s %s run: %w", name, labels[i], err)
+			return 0, fmt.Errorf("experiments: %s %s run: %w", name, labels[i], err)
 		}
 		hitRates[i], hopRates[i] = postFillRates(res, fillEnd)
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err
@@ -162,14 +162,14 @@ func BackendComparison(p Profile, requests int) ([]BackendPoint, error) {
 		return nil, err
 	}
 	out := make([]BackendPoint, len(variants))
-	err = p.forEach(len(variants), func(_ context.Context, i int) error {
+	err = p.forEach("backends", len(variants), func(_ context.Context, i int) (uint64, error) {
 		v := variants[i]
 		tables := p.Tables()
 		tables.Backend = v.backend
 		tables.SingleScan = v.scan
 		res, err := cluster.Run(p.ClusterConfig(cluster.ADC, tables, 0), tr.Cursor())
 		if err != nil {
-			return fmt.Errorf("experiments: backend %v: %w", v.backend, err)
+			return 0, fmt.Errorf("experiments: backend %v: %w", v.backend, err)
 		}
 		out[i] = BackendPoint{
 			Backend:    v.backend,
@@ -177,7 +177,7 @@ func BackendComparison(p Profile, requests int) ([]BackendPoint, error) {
 			Elapsed:    res.Elapsed,
 			HitRate:    res.Summary.HitRate,
 		}
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err

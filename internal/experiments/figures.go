@@ -73,13 +73,13 @@ func Compare(p Profile, opts CompareOptions) (*Comparison, error) {
 		algos = append(algos, cluster.CHash)
 	}
 	results := make([]*cluster.Result, len(algos))
-	err = p.forEach(len(algos), func(_ context.Context, i int) error {
+	err = p.forEach("compare", len(algos), func(_ context.Context, i int) (uint64, error) {
 		res, err := p.run(p.ClusterConfig(algos[i], p.Tables(), sampleEvery))
 		if err != nil {
-			return fmt.Errorf("experiments: %v run: %w", algos[i], err)
+			return 0, fmt.Errorf("experiments: %v run: %w", algos[i], err)
 		}
 		results[i] = res
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err
@@ -182,13 +182,13 @@ func Sweep(p Profile, opts SweepOptions) ([]SweepPoint, error) {
 		}
 	}
 	out := make([]SweepPoint, len(jobs))
-	err := p.forEach(len(jobs), func(_ context.Context, i int) error {
-		pt, err := p.sweepOne(jobs[i].tbl, jobs[i].size, opts)
+	err := p.forEach("sweep", len(jobs), func(_ context.Context, i int) (uint64, error) {
+		pt, delivered, err := p.sweepOne(jobs[i].tbl, jobs[i].size, opts)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		out[i] = pt
-		return nil
+		return delivered, nil
 	})
 	if err != nil {
 		return nil, err
@@ -196,7 +196,7 @@ func Sweep(p Profile, opts SweepOptions) ([]SweepPoint, error) {
 	return out, nil
 }
 
-func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (SweepPoint, error) {
+func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (SweepPoint, uint64, error) {
 	tables := p.Tables()
 	size := p.scaled(paperSize)
 	switch tbl {
@@ -207,7 +207,7 @@ func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (Swee
 	case TableCaching:
 		tables.CachingSize = size
 	default:
-		return SweepPoint{}, fmt.Errorf("experiments: unknown table %q", tbl)
+		return SweepPoint{}, 0, fmt.Errorf("experiments: unknown table %q", tbl)
 	}
 	if opts.PaperFaithfulTiming {
 		tables.SingleScan = true
@@ -220,7 +220,7 @@ func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (Swee
 	}
 	tr, err := p.traceFor(wcfg)
 	if err != nil {
-		return SweepPoint{}, err
+		return SweepPoint{}, 0, err
 	}
 	fillEnd, _ := tr.Boundaries()
 
@@ -229,7 +229,7 @@ func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (Swee
 	ccfg := p.ClusterConfig(cluster.ADC, tables, sampleEvery)
 	res, err := cluster.Run(ccfg, tr.Cursor())
 	if err != nil {
-		return SweepPoint{}, fmt.Errorf("experiments: sweep %s=%d: %w", tbl, size, err)
+		return SweepPoint{}, 0, fmt.Errorf("experiments: sweep %s=%d: %w", tbl, size, err)
 	}
 
 	hit, hops := postFillRates(res, fillEnd)
@@ -240,7 +240,7 @@ func (p Profile) sweepOne(tbl TableName, paperSize int, opts SweepOptions) (Swee
 		CumHitRate: res.Summary.HitRate,
 		Hops:       hops,
 		Elapsed:    res.Elapsed,
-	}, nil
+	}, res.Delivered, nil
 }
 
 // postFillRates derives hit and hop rates over the request phases from the

@@ -106,7 +106,7 @@ func ProxyCountSweep(p Profile, counts []int) ([]ProxyCountPoint, error) {
 	}
 	fillEnd, _ := tr.Boundaries()
 	out := make([]ProxyCountPoint, len(counts))
-	err = p.forEach(len(counts), func(_ context.Context, i int) error {
+	err = p.forEach("proxycount", len(counts), func(_ context.Context, i int) (uint64, error) {
 		n := counts[i]
 		tables := ref
 		tables.SingleSize = maxInt(1, refTotal.s/n)
@@ -116,11 +116,11 @@ func ProxyCountSweep(p Profile, counts []int) ([]ProxyCountPoint, error) {
 		cfg.NumProxies = n
 		res, err := cluster.Run(cfg, tr.Cursor())
 		if err != nil {
-			return fmt.Errorf("experiments: %d proxies: %w", n, err)
+			return 0, fmt.Errorf("experiments: %d proxies: %w", n, err)
 		}
 		hit, hops := postFillRates(res, fillEnd)
 		out[i] = ProxyCountPoint{Proxies: n, HitRate: hit, Hops: hops}
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err

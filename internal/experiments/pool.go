@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -17,12 +18,15 @@ import (
 // re-running the generator.
 
 // forEach runs jobs 0..n-1 on the profile's worker pool. job must write
-// its result into a caller-owned, index-addressed slot; it receives a
-// context that is cancelled as soon as any job fails, and should check it
-// before starting expensive work. The first error wins and is returned
-// after all in-flight jobs drain; jobs not yet started are skipped.
-func (p Profile) forEach(n int, job func(ctx context.Context, i int) error) error {
-	return runPool(context.Background(), p.workers(n), n, p.Progress, job)
+// its result into a caller-owned, index-addressed slot and return the
+// run's engine delivery count (for throughput reporting; 0 when unknown);
+// it receives a context that is cancelled as soon as any job fails, and
+// should check it before starting expensive work. The first error wins and
+// is returned after all in-flight jobs drain; jobs not yet started are
+// skipped. name labels the fan-out's CPU-profile samples (pprof label
+// "experiment"), so profiles of a figure campaign split by phase.
+func (p Profile) forEach(name string, n int, job func(ctx context.Context, i int) (uint64, error)) error {
+	return runPool(context.Background(), name, p.workers(n), n, p.Progress, job)
 }
 
 // workers resolves the pool width: Parallelism if set, else GOMAXPROCS,
@@ -44,7 +48,7 @@ func (p Profile) workers(n int) int {
 // runPool is the generic bounded fan-out. It feeds job indexes to workers
 // in order, cancels the shared context on the first error, and reports
 // per-job completion through progress (serialized, monotonic).
-func runPool(parent context.Context, workers, n int, progress func(done, total int), job func(ctx context.Context, i int) error) error {
+func runPool(parent context.Context, name string, workers, n int, progress func(ProgressInfo), job func(ctx context.Context, i int) (uint64, error)) error {
 	if n <= 0 {
 		return nil
 	}
@@ -56,6 +60,7 @@ func runPool(parent context.Context, workers, n int, progress func(done, total i
 		mu       sync.Mutex
 		firstErr error
 		done     int
+		events   uint64
 	)
 	fail := func(err error) {
 		mu.Lock()
@@ -69,7 +74,7 @@ func runPool(parent context.Context, workers, n int, progress func(done, total i
 	next := make(chan int)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go pprof.Do(ctx, pprof.Labels("experiment", name), func(ctx context.Context) {
 			defer wg.Done()
 			for i := range next {
 				// A cancelled pool drains remaining indexes
@@ -77,18 +82,25 @@ func runPool(parent context.Context, workers, n int, progress func(done, total i
 				if ctx.Err() != nil {
 					continue
 				}
-				if err := job(ctx, i); err != nil {
+				delivered, err := job(ctx, i)
+				if err != nil {
 					fail(err)
 					continue
 				}
 				mu.Lock()
 				done++
+				events += delivered
 				if progress != nil && firstErr == nil {
-					progress(done, n)
+					progress(ProgressInfo{
+						Done:    done,
+						Total:   n,
+						Workers: workers,
+						Events:  events,
+					})
 				}
 				mu.Unlock()
 			}
-		}()
+		})
 	}
 feed:
 	for i := 0; i < n; i++ {

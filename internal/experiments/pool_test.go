@@ -72,12 +72,12 @@ func TestRunPoolFirstErrorSkipsRemaining(t *testing.T) {
 	executed := 0
 	// One worker makes execution strictly sequential: job 0 fails,
 	// cancelling the pool before any later index can run.
-	err := runPool(context.Background(), 1, 8, nil, func(ctx context.Context, i int) error {
+	err := runPool(context.Background(), "test", 1, 8, nil, func(ctx context.Context, i int) (uint64, error) {
 		executed++
 		if i == 0 {
-			return boom
+			return 0, boom
 		}
-		return nil
+		return 0, nil
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
@@ -89,11 +89,11 @@ func TestRunPoolFirstErrorSkipsRemaining(t *testing.T) {
 
 func TestRunPoolPropagatesErrorAcrossWorkers(t *testing.T) {
 	boom := errors.New("boom")
-	err := runPool(context.Background(), 4, 16, nil, func(ctx context.Context, i int) error {
+	err := runPool(context.Background(), "test", 4, 16, nil, func(ctx context.Context, i int) (uint64, error) {
 		if i == 3 {
-			return boom
+			return 0, boom
 		}
-		return nil
+		return 0, nil
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("err = %v, want %v", err, boom)
@@ -104,9 +104,9 @@ func TestRunPoolCancelledParent(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	executed := 0
-	err := runPool(ctx, 2, 4, nil, func(ctx context.Context, i int) error {
+	err := runPool(ctx, "test", 2, 4, nil, func(ctx context.Context, i int) (uint64, error) {
 		executed++
-		return nil
+		return 0, nil
 	})
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
@@ -118,24 +118,30 @@ func TestRunPoolCancelledParent(t *testing.T) {
 
 func TestRunPoolProgressMonotonic(t *testing.T) {
 	const n = 10
-	var dones []int
+	var infos []ProgressInfo
 	// Progress calls are serialized under the pool's mutex, so the
 	// slice append needs no extra locking.
-	err := runPool(context.Background(), 4, n, func(done, total int) {
-		if total != n {
-			t.Errorf("total = %d, want %d", total, n)
+	err := runPool(context.Background(), "test", 4, n, func(info ProgressInfo) {
+		if info.Total != n {
+			t.Errorf("total = %d, want %d", info.Total, n)
 		}
-		dones = append(dones, done)
-	}, func(ctx context.Context, i int) error { return nil })
+		if info.Workers != 4 {
+			t.Errorf("workers = %d, want 4", info.Workers)
+		}
+		infos = append(infos, info)
+	}, func(ctx context.Context, i int) (uint64, error) { return 7, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(dones) != n {
-		t.Fatalf("progress called %d times, want %d", len(dones), n)
+	if len(infos) != n {
+		t.Fatalf("progress called %d times, want %d", len(infos), n)
 	}
-	for i, d := range dones {
-		if d != i+1 {
-			t.Fatalf("progress sequence %v not monotonic", dones)
+	for i, info := range infos {
+		if info.Done != i+1 {
+			t.Fatalf("progress sequence %v not monotonic", infos)
+		}
+		if info.Events != uint64(7*(i+1)) {
+			t.Errorf("call %d: events = %d, want %d (cumulative)", i, info.Events, 7*(i+1))
 		}
 	}
 }

@@ -63,9 +63,23 @@ type Profile struct {
 	// their absolute values matter.
 	Parallelism int
 	// Progress, when non-nil, is called after each completed simulation
-	// of a fan-out with the number done so far and the total. Calls are
-	// serialized and done is monotonic.
-	Progress func(done, total int)
+	// of a fan-out. Calls are serialized and Done is monotonic.
+	Progress func(info ProgressInfo)
+}
+
+// ProgressInfo is the state of a running fan-out after one more completed
+// simulation.
+type ProgressInfo struct {
+	// Done counts completed simulations; Total is the fan-out size.
+	Done, Total int
+	// Workers is the resolved worker-pool width for this fan-out (the
+	// Parallelism knob after defaulting and clamping).
+	Workers int
+	// Events is the cumulative number of engine message deliveries across
+	// all completed simulations; divided by elapsed wall-clock it yields
+	// the engine's events/sec throughput. Zero for runs on the concurrent
+	// runtimes, which do not track a global delivery counter.
+	Events uint64
 }
 
 // DefaultProfile returns the standard laptop-scale campaign.

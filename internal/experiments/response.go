@@ -49,7 +49,7 @@ func ResponseTime(p Profile, opts ResponseOptions) (*ResponseResult, error) {
 	}
 	algos := []cluster.Algorithm{cluster.ADC, cluster.CARP}
 	results := make([]*cluster.Result, len(algos))
-	err = p.forEach(len(algos), func(_ context.Context, i int) error {
+	err = p.forEach("response", len(algos), func(_ context.Context, i int) (uint64, error) {
 		cfg := p.ClusterConfig(algos[i], p.Tables(), 0)
 		cfg.Runtime = cluster.RuntimeVirtualTime
 		cfg.Latency = opts.Latency
@@ -57,10 +57,10 @@ func ResponseTime(p Profile, opts ResponseOptions) (*ResponseResult, error) {
 		cfg.Poisson = opts.Poisson
 		res, err := cluster.Run(cfg, tr.Cursor())
 		if err != nil {
-			return fmt.Errorf("experiments: response %v: %w", algos[i], err)
+			return 0, fmt.Errorf("experiments: response %v: %w", algos[i], err)
 		}
 		results[i] = res
-		return nil
+		return res.Delivered, nil
 	})
 	if err != nil {
 		return nil, err

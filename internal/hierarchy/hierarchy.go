@@ -108,7 +108,7 @@ func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
 		// can refresh their recency (they already hold the object or
 		// will cache it on the way down).
 		p.stats.LocalHits++
-		rep := msg.ReplyTo(req)
+		rep := sim.Resolve(ctx, req)
 		rep.Resolver = p.id
 		rep.Cached = true
 		next, _ := rep.NextBackward()

@@ -119,11 +119,12 @@ func (r *Reply) NextBackward() (ids.NodeID, bool) {
 	return r.Client, false
 }
 
-// ReplyTo builds the reply for req, initialized to retrace the request's
-// recorded path. The caller sets Resolver/Cached/FromOrigin as appropriate
-// before sending.
-func ReplyTo(req *Request) *Reply {
-	return &Reply{
+// InitFrom initializes r as the reply for req, retracing the request's
+// recorded path. It overwrites every field, so a recycled reply comes out
+// identical to a fresh one. The request's Path backing array transfers to
+// the reply: callers recycling req must nil req.Path afterwards.
+func (r *Reply) InitFrom(req *Request) {
+	*r = Reply{
 		ID:       req.ID,
 		Object:   req.Object,
 		Client:   req.Client,
@@ -132,6 +133,16 @@ func ReplyTo(req *Request) *Reply {
 		Hops:     req.Hops,
 		PathLen:  len(req.Path),
 	}
+}
+
+// ReplyTo builds the reply for req, initialized to retrace the request's
+// recorded path. The caller sets Resolver/Cached/FromOrigin as appropriate
+// before sending. Engine-resident nodes should prefer sim.Resolve, which
+// additionally recycles req through the engine freelist.
+func ReplyTo(req *Request) *Reply {
+	rep := &Reply{}
+	rep.InitFrom(req)
+	return rep
 }
 
 // Compile-time interface checks.

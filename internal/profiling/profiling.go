@@ -1,0 +1,60 @@
+// Package profiling implements the -cpuprofile/-memprofile support shared
+// by the CLIs. The produced files are standard pprof profiles:
+//
+//	go tool pprof -top cpu.out
+//	go tool pprof -top -sample_index=alloc_objects mem.out
+//
+// Experiment fan-outs label their worker goroutines with the pprof label
+// "experiment" (internal/experiments), so a figure campaign's CPU profile
+// splits per phase: go tool pprof -tagfocus experiment=sweep cpu.out.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and returns a
+// stop function to run after the workload: it ends the CPU profile and
+// writes a heap profile to memPath (when non-empty). Either path may be
+// empty; with both empty, Start is a no-op and stop never fails.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close() //nolint:errcheck // already failing
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			// An up-to-date heap profile needs a GC so recently freed
+			// memory is not misreported as live.
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close() //nolint:errcheck // already failing
+				return fmt.Errorf("profiling: write heap profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("profiling: close heap profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

@@ -108,7 +108,7 @@ func (p *ADC) Stats() metrics.ProxyStats { return p.stats }
 func (p *ADC) LocalTime() int64 { return p.localTime }
 
 // PendingLen returns the number of in-flight forwarded requests (tests
-// assert it drains to zero — invariant 4 of DESIGN.md §7).
+// assert it drains to zero — invariant 4 of DESIGN.md §9).
 func (p *ADC) PendingLen() int { return len(p.pending) }
 
 // Handle implements sim.Node.
@@ -131,7 +131,7 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 		// start backwarding immediately.
 		p.stats.LocalHits++
 		p.recordOutcome(p.tables.Update(req.Object, p.id, p.localTime))
-		rep := msg.ReplyTo(req)
+		rep := sim.Resolve(ctx, req)
 		rep.Resolver = p.id
 		rep.Cached = true
 		next, _ := rep.NextBackward()

@@ -84,7 +84,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestEveryRequestResolves(t *testing.T) {
-	// Invariant 4 (DESIGN.md §7): every request terminates with exactly
+	// Invariant 4 (DESIGN.md §9): every request terminates with exactly
 	// one reply to the client and pending state drains.
 	eng, proxies := rig(t, 4)
 	s := &sink{id: ids.Client(0)}

@@ -153,6 +153,7 @@ func (c *Client) Handle(ctx Context, m msg.Message) {
 	if clk, ok := ctx.(Clock); ok {
 		c.collector.RecordResponse(clk.VNow() - c.sentAt)
 	}
+	Finish(ctx, rep) // terminal delivery: the reply recycles
 	c.sendNext(ctx)
 }
 
@@ -171,14 +172,13 @@ func (c *Client) sendNext(ctx Context) {
 	if clk, ok := ctx.(Clock); ok {
 		c.sentAt = clk.VNow()
 	}
-	req := &msg.Request{
-		To:      c.pickEntry(),
-		ID:      ids.NewRequestID(c.id.ClientIndex(), c.counter),
-		Object:  obj,
-		Client:  c.id,
-		Sender:  c.id,
-		MaxHops: c.maxHops,
-	}
+	req := NewRequest(ctx)
+	req.To = c.pickEntry()
+	req.ID = ids.NewRequestID(c.id.ClientIndex(), c.counter)
+	req.Object = obj
+	req.Client = c.id
+	req.Sender = c.id
+	req.MaxHops = c.maxHops
 	ctx.Send(req)
 }
 

@@ -100,6 +100,43 @@ func TestLossStrandsOpenLoopPartially(t *testing.T) {
 	}
 }
 
+func TestDroppedSendIsNotRecycled(t *testing.T) {
+	// Ownership rule: Send returning normally gives the caller no signal
+	// that the fault filter discarded the message, so the engine must NOT
+	// recycle a dropped message — the caller may still reference it. If
+	// the engine fed dropped messages to its freelist, the next
+	// AcquireRequest would hand the same struct to a different owner and
+	// the caller's retained pointer would be silently rewritten.
+	eng := NewVEngine(LatencyModel{ClientProxy: 1})
+	eng.SetDropFilter(func(msg.Message) bool { return true })
+
+	req := eng.AcquireRequest()
+	req.To = 0
+	req.ID = ids.NewRequestID(0, 1)
+	req.Object = 77
+	req.Client = ids.Client(0)
+	eng.Send(req) // dropped: ownership stays with us
+
+	// The freelist must not contain the dropped message: a fresh acquire
+	// returns a different struct.
+	next := eng.AcquireRequest()
+	if next == req {
+		t.Fatal("engine recycled a dropped message the caller still references")
+	}
+	// And the dropped message is untouched apart from the hop count that
+	// Send legitimately added.
+	if req.Object != 77 || req.ID != ids.NewRequestID(0, 1) || req.Hops != 1 {
+		t.Errorf("dropped message mutated: %+v", req)
+	}
+
+	// Contrast: explicit release does recycle — pointer identity proves
+	// the freelist path works when ownership is genuinely handed over.
+	eng.ReleaseRequest(next)
+	if got := eng.AcquireRequest(); got != next {
+		t.Error("released request was not recycled")
+	}
+}
+
 func TestNoLossMeansNoStranding(t *testing.T) {
 	// Control: with the filter installed but never firing, everything
 	// completes — the stranding above is caused by loss alone.

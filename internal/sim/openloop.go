@@ -11,11 +11,14 @@ import (
 	"github.com/adc-sim/adc/internal/workload"
 )
 
-// tick is the open-loop client's private timer message.
+// tick is the open-loop client's private timer message. Each client owns a
+// single tick it schedules repeatedly — at most one is ever in flight, so
+// reusing the pointer is safe and avoids boxing an allocation into the
+// msg.Message interface on every injection.
 type tick struct{ to ids.NodeID }
 
 // Dest implements msg.Message.
-func (t tick) Dest() ids.NodeID { return t.to }
+func (t *tick) Dest() ids.NodeID { return t.to }
 
 // OpenLoopClient injects requests at a configured arrival rate regardless
 // of outstanding replies — the way Web Polygraph drives a proxy farm
@@ -40,6 +43,7 @@ type OpenLoopClient struct {
 	counter     uint64
 	rr          int
 	injected    int
+	timer       *tick
 	outstanding map[ids.RequestID]int64 // request → virtual send time
 	exhausted   bool
 	done        bool
@@ -94,6 +98,7 @@ func NewOpenLoopClient(cfg OpenLoopConfig) (*OpenLoopClient, error) {
 		maxHops:     cfg.MaxHops,
 		interval:    cfg.IntervalTicks,
 		poisson:     cfg.Poisson,
+		timer:       &tick{to: ids.Client(cfg.Index)},
 		outstanding: make(map[ids.RequestID]int64),
 		onDone:      cfg.OnDone,
 	}, nil
@@ -122,13 +127,13 @@ func (c *OpenLoopClient) Start(ctx Context) {
 	if !ok {
 		panic("sim: OpenLoopClient requires a virtual-time engine (Scheduler)")
 	}
-	sched.After(0, tick{to: c.id})
+	sched.After(0, c.timer)
 }
 
 // Handle implements Node: ticks inject, replies complete.
 func (c *OpenLoopClient) Handle(ctx Context, m msg.Message) {
 	switch t := m.(type) {
-	case tick:
+	case *tick:
 		c.inject(ctx)
 	case *msg.Reply:
 		c.complete(ctx, t)
@@ -147,15 +152,15 @@ func (c *OpenLoopClient) inject(ctx Context) {
 	id := ids.NewRequestID(c.id.ClientIndex(), c.counter)
 	c.outstanding[id] = clk.VNow()
 	c.injected++
-	ctx.Send(&msg.Request{
-		To:      c.pickEntry(),
-		ID:      id,
-		Object:  obj,
-		Client:  c.id,
-		Sender:  c.id,
-		MaxHops: c.maxHops,
-	})
-	ctx.(Scheduler).After(c.nextGap(), tick{to: c.id})
+	req := NewRequest(ctx)
+	req.To = c.pickEntry()
+	req.ID = id
+	req.Object = obj
+	req.Client = c.id
+	req.Sender = c.id
+	req.MaxHops = c.maxHops
+	ctx.Send(req)
+	ctx.(Scheduler).After(c.nextGap(), c.timer)
 }
 
 func (c *OpenLoopClient) complete(ctx Context, rep *msg.Reply) {
@@ -166,6 +171,7 @@ func (c *OpenLoopClient) complete(ctx Context, rep *msg.Reply) {
 		}
 		delete(c.outstanding, rep.ID)
 	}
+	Finish(ctx, rep) // terminal delivery: the reply recycles
 	c.maybeFinish()
 }
 

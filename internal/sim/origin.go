@@ -35,7 +35,7 @@ func (o *Origin) Handle(ctx Context, m msg.Message) {
 		return
 	}
 	o.resolved++
-	rep := msg.ReplyTo(req)
+	rep := Resolve(ctx, req)
 	rep.FromOrigin = true
 	// Resolver stays None: "a NULL value stays for the data from the
 	// origin server and the [first backwarding] proxy will be assigned

@@ -58,28 +58,33 @@ func CountHop(m msg.Message) {
 
 // Engine is the deterministic sequential runtime: a FIFO queue of messages
 // drained one at a time. Determinism is total — same nodes, same seeds,
-// same injected traffic means the same delivery sequence.
+// same injected traffic means the same delivery sequence. Dispatch is a
+// dense array lookup (ids.Table) and messages recycle through an
+// engine-owned freelist, so the steady-state loop does not allocate.
 type Engine struct {
-	nodes map[ids.NodeID]Node
+	nodes ids.Table[Node]
 	queue messageQueue
+	fl    msg.Freelist
 	// delivered counts total message deliveries, for diagnostics.
 	delivered uint64
 }
 
-var _ Context = (*Engine)(nil)
+var (
+	_ Context  = (*Engine)(nil)
+	_ Recycler = (*Engine)(nil)
+)
 
 // NewEngine returns an empty engine.
 func NewEngine() *Engine {
-	return &Engine{nodes: make(map[ids.NodeID]Node)}
+	return &Engine{}
 }
 
 // Register adds a node. Registering two nodes with the same ID is a
 // configuration error.
 func (e *Engine) Register(n Node) error {
-	if _, dup := e.nodes[n.ID()]; dup {
+	if !e.nodes.Put(n.ID(), n) {
 		return fmt.Errorf("sim: duplicate node %v", n.ID())
 	}
-	e.nodes[n.ID()] = n
 	return nil
 }
 
@@ -89,24 +94,36 @@ func (e *Engine) Send(m msg.Message) {
 	e.queue.push(m)
 }
 
+// AcquireRequest implements Recycler.
+func (e *Engine) AcquireRequest() *msg.Request { return e.fl.GetRequest() }
+
+// AcquireReply implements Recycler.
+func (e *Engine) AcquireReply() *msg.Reply { return e.fl.GetReply() }
+
+// ReleaseRequest implements Recycler.
+func (e *Engine) ReleaseRequest(r *msg.Request) { e.fl.PutRequest(r) }
+
+// ReleaseReply implements Recycler.
+func (e *Engine) ReleaseReply(r *msg.Reply) { e.fl.PutReply(r) }
+
 // Delivered returns the total number of messages delivered so far.
 func (e *Engine) Delivered() uint64 { return e.delivered }
 
-// Run starts every Starter node and drains the queue. It returns an error
-// if a message addresses an unregistered node, which indicates a wiring
-// bug rather than a runtime condition.
+// Run starts every Starter node in ascending NodeID order and drains the
+// queue. It returns an error if a message addresses an unregistered node,
+// which indicates a wiring bug rather than a runtime condition.
 func (e *Engine) Run() error {
-	for _, n := range e.nodes {
+	e.nodes.Ascending(func(_ ids.NodeID, n Node) {
 		if s, ok := n.(Starter); ok {
 			s.Start(e)
 		}
-	}
+	})
 	for {
 		m, ok := e.queue.pop()
 		if !ok {
 			return nil
 		}
-		n, ok := e.nodes[m.Dest()]
+		n, ok := e.nodes.Get(m.Dest())
 		if !ok {
 			return fmt.Errorf("sim: message for unregistered node %v", m.Dest())
 		}
