@@ -7,7 +7,12 @@ GO ?= go
 # "Engine internals" and EXPERIMENTS.md "Profiling the engine").
 ENGINE_BENCH = BenchmarkVEngine|BenchmarkEngineADC|BenchmarkClusterRun
 
-.PHONY: all build test race vet bench bench-sweep bench-profile figures clean
+# Mapping-table benchmarks tracked in BENCH_tables.json (DESIGN.md "Table
+# internals"): Update/Lookup mixes at the paper's reference sizes, plus the
+# end-to-end engine benchmark the table overhaul moves.
+TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup
+
+.PHONY: all build test race vet bench bench-tables bench-compare bench-sweep bench-profile figures clean
 
 all: build test
 
@@ -27,11 +32,26 @@ vet:
 # records name, ns/op and allocs/op plus the git SHA in BENCH_engine.json.
 # BENCH_baseline.json (the pre-optimization numbers) is embedded under
 # "baseline" so the file carries both before and after measurements.
-bench:
+bench: bench-tables
 	{ $(GO) version; \
 	  $(GO) test -bench '$(ENGINE_BENCH)' -run '^$$' ./internal/sim/ ./internal/cluster/; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_baseline.json > BENCH_engine.json
 	@cat BENCH_engine.json
+
+# Mapping-table benchmarks: reference-size (20k/20k/10k) Update and Lookup
+# mixes per backend, recorded with the pre-overhaul numbers embedded as the
+# baseline (BENCH_tables_baseline.json).
+bench-tables:
+	{ $(GO) version; \
+	  $(GO) test -bench '$(TABLES_BENCH)' -run '^$$' ./internal/core/; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_tables_baseline.json > BENCH_tables.json
+	@cat BENCH_tables.json
+
+# Regression gate: compares the recorded table numbers against their
+# embedded baseline and fails on >10% ns/op regressions.
+bench-compare:
+	$(GO) run ./cmd/benchjson compare BENCH_tables.json
+	$(GO) run ./cmd/benchjson compare BENCH_engine.json
 
 # Sweep benchmarks compare the sequential and parallel runners; the rest
 # regenerate every headline number in EXPERIMENTS.md.

@@ -109,8 +109,13 @@ type TableBackend string
 
 // Supported backends.
 const (
+	// BackendBTree is a bounded block B-tree keyed by (Key, Object):
+	// O(log n) search with block-local memmoves. Default — it is the
+	// "more adapted data structure" the paper calls for in §V.3.3 and
+	// produces byte-identical results to the others.
+	BackendBTree TableBackend = "btree"
 	// BackendSlice is a sorted slice with binary search (the paper's
-	// own structure; default).
+	// own structure).
 	BackendSlice TableBackend = "slice"
 	// BackendSkipList is the O(log n) replacement the paper proposes
 	// as future work (§V.3.3).
@@ -163,7 +168,7 @@ type Config struct {
 	// Runtime selects sequential (default), agents or tcp.
 	Runtime Runtime
 
-	// Backend selects the ordered-table implementation. Default slice.
+	// Backend selects the ordered-table implementation. Default btree.
 	Backend TableBackend
 
 	// SingleScan switches the single-table to the paper's O(n)
@@ -228,7 +233,7 @@ func (c Config) withDefaults() Config {
 		c.Runtime = RuntimeSequential
 	}
 	if c.Backend == "" {
-		c.Backend = BackendSlice
+		c.Backend = BackendBTree
 	}
 	return c
 }
@@ -273,15 +278,8 @@ func (c Config) toInternal() (cluster.Config, error) {
 			Service:     c.LatencyModel.Service,
 		}
 	}
-	var backend core.Backend
-	switch c.Backend {
-	case BackendSlice:
-		backend = core.BackendSlice
-	case BackendSkipList:
-		backend = core.BackendSkipList
-	case BackendList:
-		backend = core.BackendList
-	default:
+	backend, ok := core.ParseBackend(string(c.Backend))
+	if !ok {
 		return cluster.Config{}, fmt.Errorf("adc: unknown backend %q", c.Backend)
 	}
 	return cluster.Config{

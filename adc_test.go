@@ -263,7 +263,7 @@ func TestRunRejectsBadConfig(t *testing.T) {
 	if _, err := Run(Config{Runtime: "quantum"}, smallWorkload(t)); err == nil {
 		t.Error("bad runtime must fail")
 	}
-	if _, err := Run(Config{Backend: "btree"}, smallWorkload(t)); err == nil {
+	if _, err := Run(Config{Backend: "rope"}, smallWorkload(t)); err == nil {
 		t.Error("bad backend must fail")
 	}
 	if _, err := Run(smallConfig(), nil); err == nil {
@@ -430,7 +430,7 @@ func TestBackendComparisonSmall(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 3 {
+	if len(pts) != 4 {
 		t.Fatalf("points = %d", len(pts))
 	}
 	for _, pt := range pts[1:] {

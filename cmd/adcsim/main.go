@@ -44,6 +44,7 @@ func run(args []string) error {
 		maxHops    = fs.Int("maxhops", 0, "forwarding bound (0 = unbounded)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		runtime    = fs.String("runtime", "sequential", "runtime: sequential, agents or tcp")
+		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
 		entry      = fs.String("entry", "random", "entry policy: random, round-robin or fixed")
 		requests   = fs.Int("requests", 400_000, "synthetic workload length")
 		population = fs.Int("population", 1000, "hot object population of the request phases")
@@ -82,7 +83,7 @@ func run(args []string) error {
 			single: *single, multiple: *multiple, caching: *caching,
 			maxHops: *maxHops, seed: *seed,
 			requests: *requests, population: *population,
-			proxyIdx: *dump,
+			proxyIdx: *dump, backend: *backend,
 		}); err != nil {
 			return err
 		}
@@ -118,6 +119,7 @@ func run(args []string) error {
 		Seed:          *seed,
 		Entry:         adc.EntryPolicy(*entry),
 		Runtime:       adc.Runtime(*runtime),
+		Backend:       adc.TableBackend(*backend),
 	}
 	res, err := adc.Run(cfg, src)
 	if err != nil {
@@ -164,6 +166,7 @@ type dumpOptions struct {
 	seed                      int64
 	requests, population      int
 	proxyIdx                  int
+	backend                   string
 }
 
 // runWithDump runs via the internal cluster layer so the proxy's mapping
@@ -175,6 +178,10 @@ func runWithDump(o dumpOptions) error {
 	}
 	if o.proxyIdx >= o.proxies {
 		return fmt.Errorf("-dump proxy %d out of range (0..%d)", o.proxyIdx, o.proxies-1)
+	}
+	backend, ok := core.ParseBackend(o.backend)
+	if !ok {
+		return fmt.Errorf("unknown backend %q", o.backend)
 	}
 	gen, err := workload.New(workload.Config{
 		TotalRequests:  o.requests,
@@ -191,6 +198,7 @@ func runWithDump(o dumpOptions) error {
 			SingleSize:   o.single,
 			MultipleSize: o.multiple,
 			CachingSize:  o.caching,
+			Backend:      backend,
 		},
 		MaxHops: o.maxHops,
 		Seed:    o.seed,

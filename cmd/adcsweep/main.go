@@ -37,6 +37,7 @@ func run(args []string) error {
 		seed       = fs.Int64("seed", 1, "random seed")
 		proxies    = fs.Int("proxies", 5, "number of proxies")
 		metric     = fs.String("metric", "hits", "metric: hits, hops or time")
+		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
 		csvPath    = fs.String("csv", "", "also write CSV to this file")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -55,7 +56,10 @@ func run(args []string) error {
 		return err
 	}
 
-	profile := adc.Profile{Scale: *scale, Seed: *seed, Proxies: *proxies, Parallel: *parallel}
+	profile := adc.Profile{
+		Scale: *scale, Seed: *seed, Proxies: *proxies, Parallel: *parallel,
+		Backend: adc.TableBackend(*backend),
+	}
 	profile.Progress = progressLine(os.Stderr)
 
 	var pts []adc.SweepPoint

@@ -9,6 +9,17 @@
 //
 // Lines that are not benchmark results (the goos/pkg header, PASS/ok
 // trailers) pass through unparsed; anything that parses is recorded.
+//
+// The compare subcommand diffs two recorded files benchmark by benchmark:
+//
+//	benchjson compare old.json new.json            # old vs new
+//	benchjson compare BENCH_tables.json            # embedded baseline vs file
+//	benchjson compare -threshold 15 old.json new.json
+//
+// It prints per-benchmark ns/op and allocs/op deltas and exits non-zero
+// when any shared benchmark slowed down by more than -threshold percent —
+// the regression gate used by `make bench-compare` and the bench-smoke CI
+// job.
 package main
 
 import (
@@ -16,10 +27,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
+	"sort"
 	"strconv"
 	"strings"
+	"text/tabwriter"
 	"time"
 )
 
@@ -46,6 +60,14 @@ type File struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		code, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 	sha := flag.String("sha", "", "record this commit instead of git rev-parse HEAD")
 	baseline := flag.String("baseline", "", "embed this prior BENCH_engine.json as the baseline")
 	flag.Parse()
@@ -53,6 +75,117 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// runCompare implements the compare subcommand. Returns the process exit
+// code: 0 when no benchmark regressed beyond the threshold, 1 otherwise.
+func runCompare(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("benchjson compare", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 10,
+		"fail (exit 1) when any benchmark's ns/op grows by more than this percentage")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	var old, cur *File
+	switch fs.NArg() {
+	case 1:
+		// One file: compare its embedded baseline against its numbers.
+		f, err := loadBenchFile(fs.Arg(0))
+		if err != nil {
+			return 2, err
+		}
+		if f.Baseline == nil {
+			return 2, fmt.Errorf("%s has no embedded baseline; pass two files", fs.Arg(0))
+		}
+		old, cur = f.Baseline, f
+	case 2:
+		var err error
+		if old, err = loadBenchFile(fs.Arg(0)); err != nil {
+			return 2, err
+		}
+		if cur, err = loadBenchFile(fs.Arg(1)); err != nil {
+			return 2, err
+		}
+	default:
+		return 2, fmt.Errorf("usage: benchjson compare [-threshold pct] old.json [new.json]")
+	}
+
+	oldByName := make(map[string]Entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		oldByName[e.Name] = e
+	}
+	var names []string
+	curByName := make(map[string]Entry, len(cur.Benchmarks))
+	for _, e := range cur.Benchmarks {
+		curByName[e.Name] = e
+		if _, shared := oldByName[e.Name]; shared {
+			names = append(names, e.Name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return 2, fmt.Errorf("no shared benchmarks between %s and %s", old.GitSHA, cur.GitSHA)
+	}
+
+	fmt.Fprintf(w, "old %s  new %s  (threshold %+.0f%% ns/op)\n", old.GitSHA, cur.GitSHA, *threshold)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\t")
+	regressed := 0
+	for _, name := range names {
+		o, n := oldByName[name], curByName[name]
+		nsDelta := pctDelta(o.NsPerOp, n.NsPerOp)
+		mark := ""
+		if nsDelta > *threshold {
+			mark = "  REGRESSION"
+			regressed++
+		}
+		fmt.Fprintf(tw, "%s\t%.1f\t%.1f\t%s\t%.0f\t%.0f\t%s\t%s\n",
+			name, o.NsPerOp, n.NsPerOp, fmtDelta(nsDelta),
+			o.AllocsOp, n.AllocsOp, fmtDelta(pctDelta(o.AllocsOp, n.AllocsOp)), mark)
+	}
+	if err := tw.Flush(); err != nil {
+		return 2, err
+	}
+	for _, e := range cur.Benchmarks {
+		if _, shared := oldByName[e.Name]; !shared {
+			fmt.Fprintf(w, "new only: %s  %.1f ns/op\n", e.Name, e.NsPerOp)
+		}
+	}
+	for _, e := range old.Benchmarks {
+		if _, shared := curByName[e.Name]; !shared {
+			fmt.Fprintf(w, "old only: %s\n", e.Name)
+		}
+	}
+	if regressed > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %+.0f%%\n", regressed, *threshold)
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// pctDelta returns the percentage change from old to new; 0 when old is 0
+// (nothing meaningful to report against a zero base).
+func pctDelta(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func fmtDelta(pct float64) string {
+	return fmt.Sprintf("%+.1f%%", pct)
+}
+
+func loadBenchFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &f, nil
 }
 
 func run(sha, baselinePath string) error {

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeBenchFile(t *testing.T, name string, f File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareReportsDeltasAndRegressions(t *testing.T) {
+	old := writeBenchFile(t, "old.json", File{
+		GitSHA: "aaaa",
+		Benchmarks: []Entry{
+			{Name: "BenchmarkFast", NsPerOp: 100, AllocsOp: 4},
+			{Name: "BenchmarkSlow", NsPerOp: 100, AllocsOp: 4},
+			{Name: "BenchmarkGone", NsPerOp: 50},
+		},
+	})
+	cur := writeBenchFile(t, "new.json", File{
+		GitSHA: "bbbb",
+		Benchmarks: []Entry{
+			{Name: "BenchmarkFast", NsPerOp: 40, AllocsOp: 0},
+			{Name: "BenchmarkSlow", NsPerOp: 150, AllocsOp: 4},
+			{Name: "BenchmarkNew", NsPerOp: 10},
+		},
+	})
+
+	var out strings.Builder
+	code, err := runCompare([]string{old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1 (BenchmarkSlow regressed 50%%)", code)
+	}
+	got := out.String()
+	for _, want := range []string{"BenchmarkFast", "-60.0%", "REGRESSION", "+50.0%",
+		"new only: BenchmarkNew", "old only: BenchmarkGone"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// A looser threshold lets the same pair pass.
+	code, err = runCompare([]string{"-threshold", "60", old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 at threshold 60%%", code)
+	}
+}
+
+func TestCompareAgainstEmbeddedBaseline(t *testing.T) {
+	cur := writeBenchFile(t, "new.json", File{
+		GitSHA: "bbbb",
+		Benchmarks: []Entry{
+			{Name: "BenchmarkX", NsPerOp: 90},
+		},
+		Baseline: &File{
+			GitSHA: "aaaa",
+			Benchmarks: []Entry{
+				{Name: "BenchmarkX", NsPerOp: 100},
+			},
+		},
+	})
+	var out strings.Builder
+	code, err := runCompare([]string{cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "-10.0%") {
+		t.Errorf("output missing improvement delta:\n%s", out.String())
+	}
+
+	noBase := writeBenchFile(t, "nobase.json", File{
+		Benchmarks: []Entry{{Name: "BenchmarkX", NsPerOp: 1}},
+	})
+	if _, err := runCompare([]string{noBase}, &out); err == nil {
+		t.Error("one-arg compare without embedded baseline must error")
+	}
+}
+
+func TestParseBenchLine(t *testing.T) {
+	e, ok := parseBenchLine(
+		"BenchmarkTablesUpdate/btree/hit-8  1000000  1234.5 ns/op  16 B/op  2 allocs/op")
+	if !ok {
+		t.Fatal("line must parse")
+	}
+	if e.Name != "BenchmarkTablesUpdate/btree/hit" {
+		t.Errorf("name = %q", e.Name)
+	}
+	if e.NsPerOp != 1234.5 || e.BytesOp != 16 || e.AllocsOp != 2 {
+		t.Errorf("values = %+v", e)
+	}
+	if _, ok := parseBenchLine("ok  \tgithub.com/adc-sim/adc\t2.1s"); ok {
+		t.Error("trailer line must not parse")
+	}
+}

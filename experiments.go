@@ -1,8 +1,10 @@
 package adc
 
 import (
+	"fmt"
 	"time"
 
+	"github.com/adc-sim/adc/internal/core"
 	"github.com/adc-sim/adc/internal/experiments"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/sim"
@@ -21,6 +23,10 @@ type Profile struct {
 	Seed int64
 	// Entry selects the client entry policy (default random).
 	Entry EntryPolicy
+	// Backend selects the ordered-table implementation (default btree).
+	// Experiments that sweep backends themselves (TimingSweep,
+	// BackendComparison) ignore it.
+	Backend TableBackend
 	// Parallel bounds how many independent simulations an experiment
 	// runs concurrently (default GOMAXPROCS; 1 forces sequential
 	// execution). Results are bit-identical at any width — runs are
@@ -66,6 +72,11 @@ func (p Profile) toInternal() (experiments.Profile, error) {
 	case EntryFixed:
 		ip.EntryPolicy = sim.EntryFixed
 	}
+	backend, ok := core.ParseBackend(string(p.Backend))
+	if !ok {
+		return ip, fmt.Errorf("adc: unknown backend %q", p.Backend)
+	}
+	ip.Backend = backend
 	ip.Parallelism = p.Parallel
 	if cb := p.Progress; cb != nil {
 		ip.Progress = func(info experiments.ProgressInfo) {

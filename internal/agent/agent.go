@@ -14,6 +14,7 @@ package agent
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/msg"
@@ -34,6 +35,9 @@ type Runtime struct {
 	nodes   ids.Table[sim.Node]
 	boxes   ids.Table[chan msg.Message]
 	wg      sync.WaitGroup
+	// dropped counts messages sent to unregistered destinations — a
+	// wiring bug. Atomic: any node goroutine may fault.
+	dropped atomic.Uint64
 }
 
 // New returns an empty runtime. mailbox <= 0 selects DefaultMailbox.
@@ -65,13 +69,19 @@ func (s sender) Send(m msg.Message) {
 	if !ok {
 		// Unroutable messages indicate a wiring bug; the sequential
 		// engine turns them into an error, here we must not block a
-		// node goroutine, so the message is dropped. The closed
-		// loop then stalls and the bug surfaces in tests
-		// immediately rather than silently corrupting results.
+		// node goroutine, so the message is dropped — but counted,
+		// so the fault is observable via Dropped instead of only
+		// through a stalled closed loop.
+		s.r.dropped.Add(1)
 		return
 	}
 	box <- m
 }
+
+// Dropped reports how many messages were sent to destinations with no
+// registered node since the runtime was created. Any non-zero value means
+// the topology wiring is broken; callers should treat it as fatal.
+func (r *Runtime) Dropped() uint64 { return r.dropped.Load() }
 
 // Run starts every node goroutine, fires the Starters, then blocks until
 // done is closed. It stops all nodes and waits for them to exit before

@@ -88,6 +88,27 @@ func TestUnroutableMessageDoesNotBlock(t *testing.T) {
 	done := make(chan struct{})
 	close(done)
 	rt.Run(done) // must return, not deadlock
+	if got := rt.Dropped(); got != 1 {
+		t.Errorf("Dropped() = %d, want 1", got)
+	}
+}
+
+func TestDroppedCountsUnroutableMessages(t *testing.T) {
+	rt := New(0)
+	if err := rt.Register(&echoNode{id: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Dropped(); got != 0 {
+		t.Fatalf("fresh runtime Dropped() = %d, want 0", got)
+	}
+	ctx := sender{r: rt}
+	for i := 0; i < 3; i++ {
+		ctx.Send(&msg.Request{To: 42}) // no node 42 registered
+	}
+	ctx.Send(&msg.Request{To: 0}) // routable: must not count
+	if got := rt.Dropped(); got != 3 {
+		t.Errorf("Dropped() = %d, want 3", got)
+	}
 }
 
 type strayStarter struct{ id ids.NodeID }

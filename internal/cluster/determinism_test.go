@@ -56,3 +56,53 @@ func TestRunDeterminism(t *testing.T) {
 		})
 	}
 }
+
+// TestBackendDeterminism asserts that the ordered-table backend is
+// unobservable in simulation results: the default btree (with the unified
+// directory), the paper's sorted slice and the skip list must produce
+// byte-identical summaries, time series and per-proxy statistics. This is
+// the guard that lets the backend change default without perturbing any
+// paper-reproduction number.
+func TestBackendDeterminism(t *testing.T) {
+	objs := make([]ids.ObjectID, 4000)
+	state := uint64(0xDEADBEEFCAFE)
+	for i := range objs {
+		state = state*6364136223846793005 + 1442695040888963407
+		objs[i] = ids.ObjectID(state % 800)
+	}
+	run := func(backend core.Backend) *Result {
+		res, err := Run(Config{
+			Algorithm:  ADC,
+			NumProxies: 5,
+			Tables: core.Config{
+				SingleSize: 200, MultipleSize: 200, CachingSize: 100,
+				Backend: backend,
+			},
+			Seed:        42,
+			Clients:     3,
+			SampleEvery: 500,
+		}, trace.NewSliceSource(objs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	ref := run(core.BackendSlice)
+	for _, backend := range []core.Backend{core.BackendBTree, core.BackendSkipList} {
+		t.Run(backend.String(), func(t *testing.T) {
+			got := run(backend)
+			sr, sg := ref.Summary, got.Summary
+			sr.Elapsed, sg.Elapsed = 0, 0
+			if sr != sg {
+				t.Errorf("summaries differ:\nslice %+v\n%s %+v", sr, backend, sg)
+			}
+			if !reflect.DeepEqual(ref.Series, got.Series) {
+				t.Error("time series differ across backends")
+			}
+			if !reflect.DeepEqual(ref.ProxyStats, got.ProxyStats) {
+				t.Errorf("proxy stats differ:\nslice %+v\n%s %+v", ref.ProxyStats, backend, got.ProxyStats)
+			}
+		})
+	}
+}

@@ -33,7 +33,7 @@ type File struct {
 	Entry string `json:"entry,omitempty"`
 	// Runtime: "sequential", "agents" or "tcp".
 	Runtime string `json:"runtime,omitempty"`
-	// Backend: "slice", "skiplist" or "list".
+	// Backend: "btree" (default), "slice", "skiplist" or "list".
 	Backend string `json:"backend,omitempty"`
 
 	// Workload describes the synthetic request stream; ignored when a
@@ -132,15 +132,8 @@ func (f File) Build() (cluster.Config, workload.Config, error) {
 		return cluster.Config{}, workload.Config{}, fmt.Errorf("config: unknown runtime %q", f.Runtime)
 	}
 
-	var backend core.Backend
-	switch f.Backend {
-	case "", "slice":
-		backend = core.BackendSlice
-	case "skiplist":
-		backend = core.BackendSkipList
-	case "list":
-		backend = core.BackendList
-	default:
+	backend, ok := core.ParseBackend(f.Backend)
+	if !ok {
 		return cluster.Config{}, workload.Config{}, fmt.Errorf("config: unknown backend %q", f.Backend)
 	}
 

@@ -55,7 +55,7 @@ func TestParseRejectsBadValues(t *testing.T) {
 		`{"algorithm": "quantum"}`,
 		`{"entry": "sideways"}`,
 		`{"runtime": "blockchain"}`,
-		`{"backend": "btree"}`,
+		`{"backend": "rope"}`,
 		`{"proxies": -1}`,
 		`{"workload": {"requests": -5}}`,
 	}

@@ -60,6 +60,14 @@ type Entry struct {
 	// noAge freezes the aging term in Key for the aging-off ablation
 	// (Config.AgingOff); entries of one proxy all share the setting.
 	noAge bool
+
+	// prev/next are intrusive list links used by whichever list-shaped
+	// table currently holds the entry (the LRU single-table, the
+	// paper-faithful sorted list backend, or the LRU ablation table).
+	// An entry lives in at most one table at a time, so one pair of
+	// links suffices and no per-table node allocation is ever needed.
+	// Unlinking always nils them.
+	prev, next *Entry
 }
 
 // NewEntry creates a first-sighting entry, initialized exactly as the

@@ -8,37 +8,31 @@ import "github.com/adc-sim/adc/internal/ids"
 // more adapted data structure should provide speed-ups", §V.3.3). Every
 // operation is O(n) with pointer-chasing constants; it exists for the
 // timing reproduction and the backend ablation, not for production use.
+//
+// The list is intrusive: entries link through their embedded prev/next
+// fields, so no per-node allocation happens.
 type listTable struct {
 	capacity   int
-	head, tail *listNode // sentinels; ascending key order between them
+	head, tail Entry // sentinels; ascending key order between them
 	size       int
-}
-
-type listNode struct {
-	entry      *Entry
-	prev, next *listNode
 }
 
 var _ Ordered = (*listTable)(nil)
 
 func newListTable(capacity int) *listTable {
-	t := &listTable{
-		capacity: capacity,
-		head:     &listNode{},
-		tail:     &listNode{},
-	}
-	t.head.next = t.tail
-	t.tail.prev = t.head
+	t := &listTable{capacity: capacity}
+	t.head.next = &t.tail
+	t.tail.prev = &t.head
 	return t
 }
 
 func (t *listTable) Len() int { return t.size }
 func (t *listTable) Cap() int { return t.capacity }
 
-func (t *listTable) find(obj ids.ObjectID) *listNode {
-	for n := t.head.next; n != t.tail; n = n.next {
-		if n.entry.Object == obj {
-			return n
+func (t *listTable) find(obj ids.ObjectID) *Entry {
+	for e := t.head.next; e != &t.tail; e = e.next {
+		if e.Object == obj {
+			return e
 		}
 	}
 	return nil
@@ -46,34 +40,34 @@ func (t *listTable) find(obj ids.ObjectID) *listNode {
 
 func (t *listTable) Contains(obj ids.ObjectID) bool { return t.find(obj) != nil }
 
-func (t *listTable) Get(obj ids.ObjectID) *Entry {
-	if n := t.find(obj); n != nil {
-		return n.entry
-	}
-	return nil
-}
+func (t *listTable) Get(obj ids.ObjectID) *Entry { return t.find(obj) }
 
 func (t *listTable) Remove(obj ids.ObjectID) *Entry {
-	n := t.find(obj)
-	if n == nil {
+	e := t.find(obj)
+	if e == nil {
 		return nil
 	}
-	t.unlink(n)
-	return n.entry
+	t.unlink(e)
+	return e
 }
+
+// RemoveEntry unlinks a known-present entry in O(1) via its intrusive
+// links; only the paper-faithful by-object search is element-wise.
+func (t *listTable) RemoveEntry(e *Entry) { t.unlink(e) }
 
 func (t *listTable) Insert(e *Entry) *Entry {
 	if t.capacity == 0 {
 		return e
 	}
-	// Walk to the first node not less than e and insert before it.
+	// Walk to the first entry not less than e and insert before it.
 	at := t.head.next
-	for at != t.tail && less(at.entry, e) {
+	for at != &t.tail && less(at, e) {
 		at = at.next
 	}
-	n := &listNode{entry: e, prev: at.prev, next: at}
-	at.prev.next = n
-	at.prev = n
+	e.prev = at.prev
+	e.next = at
+	at.prev.next = e
+	at.prev = e
 	t.size++
 	if t.size > t.capacity {
 		return t.RemoveWorst()
@@ -85,29 +79,37 @@ func (t *listTable) RemoveWorst() *Entry {
 	if t.size == 0 {
 		return nil
 	}
-	n := t.tail.prev
-	t.unlink(n)
-	return n.entry
+	e := t.tail.prev
+	t.unlink(e)
+	return e
 }
 
 func (t *listTable) WorstKey() (int64, bool) {
 	if t.size == 0 {
 		return 0, false
 	}
-	return t.tail.prev.entry.Key(), true
+	return t.tail.prev.Key(), true
+}
+
+func (t *listTable) Each(fn func(*Entry) bool) {
+	for e := t.head.next; e != &t.tail; e = e.next {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 func (t *listTable) Entries() []*Entry {
 	out := make([]*Entry, 0, t.size)
-	for n := t.head.next; n != t.tail; n = n.next {
-		out = append(out, n.entry)
+	for e := t.head.next; e != &t.tail; e = e.next {
+		out = append(out, e)
 	}
 	return out
 }
 
-func (t *listTable) unlink(n *listNode) {
-	n.prev.next = n.next
-	n.next.prev = n.prev
-	n.prev, n.next = nil, nil
+func (t *listTable) unlink(e *Entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
 	t.size--
 }

@@ -8,56 +8,52 @@ import "github.com/adc-sim/adc/internal/ids"
 // Together with Config.CacheAdmitAll it turns the caching table into the
 // "typical LRU algorithm" the paper compares selective caching against
 // (§III.4) — the ablation baseline, not part of the ADC algorithm proper.
+//
+// Entries link through their intrusive prev/next fields; head.next is the
+// most recently inserted entry. By-object search is a walk (hot-path
+// membership lives in the Tables directory).
 type lruOrdered struct {
 	capacity   int
-	head, tail *lruNode // head.next = most recently inserted
+	head, tail Entry
 	size       int
-	index      map[ids.ObjectID]*lruNode
-}
-
-type lruNode struct {
-	entry      *Entry
-	prev, next *lruNode
 }
 
 var _ Ordered = (*lruOrdered)(nil)
 
 func newLRUOrdered(capacity int) *lruOrdered {
-	t := &lruOrdered{
-		capacity: capacity,
-		head:     &lruNode{},
-		tail:     &lruNode{},
-		index:    make(map[ids.ObjectID]*lruNode, capacity),
-	}
-	t.head.next = t.tail
-	t.tail.prev = t.head
+	t := &lruOrdered{capacity: capacity}
+	t.head.next = &t.tail
+	t.tail.prev = &t.head
 	return t
 }
 
 func (t *lruOrdered) Len() int { return t.size }
 func (t *lruOrdered) Cap() int { return t.capacity }
 
-func (t *lruOrdered) Contains(obj ids.ObjectID) bool {
-	_, ok := t.index[obj]
-	return ok
-}
-
-func (t *lruOrdered) Get(obj ids.ObjectID) *Entry {
-	if n, ok := t.index[obj]; ok {
-		return n.entry
+func (t *lruOrdered) find(obj ids.ObjectID) *Entry {
+	for e := t.head.next; e != &t.tail; e = e.next {
+		if e.Object == obj {
+			return e
+		}
 	}
 	return nil
 }
 
+func (t *lruOrdered) Contains(obj ids.ObjectID) bool { return t.find(obj) != nil }
+
+func (t *lruOrdered) Get(obj ids.ObjectID) *Entry { return t.find(obj) }
+
 func (t *lruOrdered) Remove(obj ids.ObjectID) *Entry {
-	n, ok := t.index[obj]
-	if !ok {
+	e := t.find(obj)
+	if e == nil {
 		return nil
 	}
-	t.unlink(n)
-	delete(t.index, obj)
-	return n.entry
+	t.unlink(e)
+	return e
 }
+
+// RemoveEntry unlinks a known-present entry in O(1).
+func (t *lruOrdered) RemoveEntry(e *Entry) { t.unlink(e) }
 
 func (t *lruOrdered) Insert(e *Entry) *Entry {
 	if t.capacity == 0 {
@@ -67,12 +63,10 @@ func (t *lruOrdered) Insert(e *Entry) *Entry {
 	if t.size >= t.capacity {
 		evicted = t.RemoveWorst()
 	}
-	n := &lruNode{entry: e}
-	n.prev = t.head
-	n.next = t.head.next
-	t.head.next.prev = n
-	t.head.next = n
-	t.index[e.Object] = n
+	e.prev = &t.head
+	e.next = t.head.next
+	t.head.next.prev = e
+	t.head.next = e
 	t.size++
 	return evicted
 }
@@ -81,32 +75,40 @@ func (t *lruOrdered) RemoveWorst() *Entry {
 	if t.size == 0 {
 		return nil
 	}
-	n := t.tail.prev
-	t.unlink(n)
-	delete(t.index, n.entry.Object)
-	return n.entry
+	e := t.tail.prev
+	t.unlink(e)
+	return e
 }
 
 func (t *lruOrdered) WorstKey() (int64, bool) {
 	if t.size == 0 {
 		return 0, false
 	}
-	return t.tail.prev.entry.Key(), true
+	return t.tail.prev.Key(), true
 }
 
-// Entries returns entries from most to least recently updated; "ascending
-// key order" does not apply to the recency ordering.
+// Each walks entries from most to least recently updated; "ascending key
+// order" does not apply to the recency ordering.
+func (t *lruOrdered) Each(fn func(*Entry) bool) {
+	for e := t.head.next; e != &t.tail; e = e.next {
+		if !fn(e) {
+			return
+		}
+	}
+}
+
+// Entries returns entries from most to least recently updated.
 func (t *lruOrdered) Entries() []*Entry {
 	out := make([]*Entry, 0, t.size)
-	for n := t.head.next; n != t.tail; n = n.next {
-		out = append(out, n.entry)
+	for e := t.head.next; e != &t.tail; e = e.next {
+		out = append(out, e)
 	}
 	return out
 }
 
-func (t *lruOrdered) unlink(n *lruNode) {
-	n.prev.next = n.next
-	n.next.prev = n.prev
-	n.prev, n.next = nil, nil
+func (t *lruOrdered) unlink(e *Entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
 	t.size--
 }

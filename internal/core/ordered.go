@@ -14,6 +14,13 @@ import (
 // An entry's Key must stay constant while it is stored; callers remove an
 // entry, mutate it (CalcAverage, Location), and re-insert it, exactly as
 // the paper's Update_Entry does.
+//
+// Backends keep no object index of their own: on the hot path the owning
+// Tables resolves membership through its unified directory (one map probe
+// for all three tables) and removes via RemoveEntry. The by-object methods
+// (Contains, Get, Remove) search the backend's own structure — O(log n) is
+// not possible without a key, so they are linear walks — and exist for the
+// paper-faithful ablation path and for direct unit-testing of backends.
 type Ordered interface {
 	// Len returns the number of stored entries.
 	Len() int
@@ -25,6 +32,11 @@ type Ordered interface {
 	Get(obj ids.ObjectID) *Entry
 	// Remove takes the entry for obj out of the table; nil if absent.
 	Remove(obj ids.ObjectID) *Entry
+	// RemoveEntry takes a known-present entry out of the table without a
+	// by-object search: the backend locates it by its (Key, Object)
+	// position. The entry must currently be stored and its key unchanged
+	// since insertion.
+	RemoveEntry(e *Entry)
 	// Insert places e at its ordered position (the paper's
 	// InsertOrdered). If the table is full, the worst entry — the one
 	// with the largest key, possibly e itself — is evicted and
@@ -36,8 +48,13 @@ type Ordered interface {
 	// WorstKey returns the largest key in the table; ok is false when
 	// the table is empty.
 	WorstKey() (key int64, ok bool)
+	// Each calls fn for every entry in ascending key order until fn
+	// returns false. It allocates nothing; the entries must not be
+	// mutated or reinserted during the walk.
+	Each(fn func(*Entry) bool)
 	// Entries returns the entries in ascending key order. The slice is
-	// freshly allocated; the entries are shared.
+	// freshly allocated; the entries are shared. Prefer Each on any
+	// path that runs repeatedly.
 	Entries() []*Entry
 }
 
@@ -46,14 +63,20 @@ type Backend int
 
 // Supported ordered-table backends.
 const (
+	// BackendBTree is the default: a bounded B-tree-like structure of
+	// small sorted blocks keyed by (Key, Object). O(log n) search with
+	// block-local memmoves, so reference-size tables (20k entries, §V.2)
+	// never shift their whole backing array. It is the "more adapted
+	// data structure [that] should provide speed-ups" the paper calls
+	// for in §V.3.3, with the cache locality the skip list lacks.
+	BackendBTree Backend = iota
 	// BackendSlice is a sorted slice with binary search — the paper's
 	// own structure ("insertion and deletion at the ordered
 	// multiple-table is mostly operated by binary search algorithms",
 	// §V.3.3). O(log n) search, O(n) insert/delete due to shifting.
-	BackendSlice Backend = iota
-	// BackendSkipList is a deterministic skip list — the "more adapted
-	// data structure [that] should provide speed-ups" the paper calls
-	// for in §V.3.3. O(log n) for every operation.
+	BackendSlice
+	// BackendSkipList is a deterministic skip list. O(log n) for every
+	// operation, pointer-chasing constants.
 	BackendSkipList
 	// BackendList is the fully paper-faithful sorted linked list with
 	// element-wise search, used by the Fig. 15 timing reproduction.
@@ -64,6 +87,8 @@ const (
 // String implements fmt.Stringer.
 func (b Backend) String() string {
 	switch b {
+	case BackendBTree:
+		return "btree"
 	case BackendSlice:
 		return "slice"
 	case BackendSkipList:
@@ -75,17 +100,36 @@ func (b Backend) String() string {
 	}
 }
 
+// ParseBackend converts a backend name ("btree", "slice", "skiplist",
+// "list") to its Backend; the empty string selects the default.
+func ParseBackend(name string) (Backend, bool) {
+	switch name {
+	case "", "btree":
+		return BackendBTree, true
+	case "slice":
+		return BackendSlice, true
+	case "skiplist":
+		return BackendSkipList, true
+	case "list":
+		return BackendList, true
+	default:
+		return 0, false
+	}
+}
+
 // NewOrdered returns an empty ordered table with the given capacity using
 // the selected backend. Capacity must be non-negative (a zero-capacity
 // table rejects every insert).
 func NewOrdered(capacity int, backend Backend) Ordered {
 	switch backend {
+	case BackendSlice:
+		return newSliceTable(capacity)
 	case BackendSkipList:
 		return newSkipTable(capacity)
 	case BackendList:
 		return newListTable(capacity)
 	default:
-		return newSliceTable(capacity)
+		return newBTreeTable(capacity)
 	}
 }
 
@@ -93,7 +137,6 @@ func NewOrdered(capacity int, backend Backend) Ordered {
 type sliceTable struct {
 	capacity int
 	entries  []*Entry // ascending by (Key, Object)
-	index    map[ids.ObjectID]*Entry
 }
 
 var _ Ordered = (*sliceTable)(nil)
@@ -102,21 +145,33 @@ func newSliceTable(capacity int) *sliceTable {
 	return &sliceTable{
 		capacity: capacity,
 		entries:  make([]*Entry, 0, capacity),
-		index:    make(map[ids.ObjectID]*Entry, capacity),
 	}
 }
 
 func (t *sliceTable) Len() int { return len(t.entries) }
 func (t *sliceTable) Cap() int { return t.capacity }
 
-func (t *sliceTable) Contains(obj ids.ObjectID) bool {
-	_, ok := t.index[obj]
-	return ok
+// scan finds the slice index of obj's entry, or -1. The key is unknown, so
+// this is a linear walk — legacy/test path only (see the Ordered comment).
+func (t *sliceTable) scan(obj ids.ObjectID) int {
+	for i, e := range t.entries {
+		if e.Object == obj {
+			return i
+		}
+	}
+	return -1
 }
 
-func (t *sliceTable) Get(obj ids.ObjectID) *Entry { return t.index[obj] }
+func (t *sliceTable) Contains(obj ids.ObjectID) bool { return t.scan(obj) >= 0 }
 
-// position finds the index of e in the slice via binary search on
+func (t *sliceTable) Get(obj ids.ObjectID) *Entry {
+	if i := t.scan(obj); i >= 0 {
+		return t.entries[i]
+	}
+	return nil
+}
+
+// position finds the index of e in the slice via one binary search on
 // (Key, Object). e must be present.
 func (t *sliceTable) position(e *Entry) int {
 	i := sort.Search(len(t.entries), func(i int) bool {
@@ -128,15 +183,21 @@ func (t *sliceTable) position(e *Entry) int {
 }
 
 func (t *sliceTable) Remove(obj ids.ObjectID) *Entry {
-	e, ok := t.index[obj]
-	if !ok {
+	i := t.scan(obj)
+	if i < 0 {
 		return nil
 	}
-	i := t.position(e)
-	copy(t.entries[i:], t.entries[i+1:])
-	t.entries = t.entries[:len(t.entries)-1]
-	delete(t.index, obj)
+	e := t.entries[i]
+	t.removeAt(i)
 	return e
+}
+
+func (t *sliceTable) RemoveEntry(e *Entry) { t.removeAt(t.position(e)) }
+
+func (t *sliceTable) removeAt(i int) {
+	copy(t.entries[i:], t.entries[i+1:])
+	t.entries[len(t.entries)-1] = nil
+	t.entries = t.entries[:len(t.entries)-1]
 }
 
 func (t *sliceTable) Insert(e *Entry) *Entry {
@@ -149,7 +210,6 @@ func (t *sliceTable) Insert(e *Entry) *Entry {
 	t.entries = append(t.entries, nil)
 	copy(t.entries[i+1:], t.entries[i:])
 	t.entries[i] = e
-	t.index[e.Object] = e
 	if len(t.entries) > t.capacity {
 		return t.RemoveWorst()
 	}
@@ -161,8 +221,8 @@ func (t *sliceTable) RemoveWorst() *Entry {
 		return nil
 	}
 	e := t.entries[len(t.entries)-1]
+	t.entries[len(t.entries)-1] = nil
 	t.entries = t.entries[:len(t.entries)-1]
-	delete(t.index, e.Object)
 	return e
 }
 
@@ -171,6 +231,14 @@ func (t *sliceTable) WorstKey() (int64, bool) {
 		return 0, false
 	}
 	return t.entries[len(t.entries)-1].Key(), true
+}
+
+func (t *sliceTable) Each(fn func(*Entry) bool) {
+	for _, e := range t.entries {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 func (t *sliceTable) Entries() []*Entry {

@@ -12,7 +12,7 @@ import (
 // and the skip-list replacement it proposes as future work.
 func forEachBackend(t *testing.T, capacity int, fn func(t *testing.T, tbl Ordered)) {
 	t.Helper()
-	for _, b := range []Backend{BackendSlice, BackendSkipList, BackendList} {
+	for _, b := range []Backend{BackendBTree, BackendSlice, BackendSkipList, BackendList} {
 		t.Run(b.String(), func(t *testing.T) {
 			fn(t, NewOrdered(capacity, b))
 		})
@@ -179,7 +179,7 @@ func TestOrderedGet(t *testing.T) {
 func TestBackendsAgree(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	ref := NewOrdered(16, BackendSlice)
-	others := []Ordered{NewOrdered(16, BackendSkipList), NewOrdered(16, BackendList)}
+	others := []Ordered{NewOrdered(16, BackendBTree), NewOrdered(16, BackendSkipList), NewOrdered(16, BackendList)}
 	for i := 0; i < 5000; i++ {
 		obj := ids.ObjectID(rng.Intn(64))
 		switch rng.Intn(3) {
@@ -247,7 +247,7 @@ func TestBackendsAgree(t *testing.T) {
 // TestOrderedPropertySortedAndBounded is invariant 1+2 of DESIGN.md §9 as a
 // quick.Check property over both backends.
 func TestOrderedPropertySortedAndBounded(t *testing.T) {
-	for _, backend := range []Backend{BackendSlice, BackendSkipList, BackendList} {
+	for _, backend := range []Backend{BackendBTree, BackendSlice, BackendSkipList, BackendList} {
 		backend := backend
 		t.Run(backend.String(), func(t *testing.T) {
 			prop := func(keys []int16, capSeed uint8) bool {

@@ -7,38 +7,34 @@ import "github.com/adc-sim/adc/internal/ids"
 // re-inserted entries go on top; when the table is full the bottom entry
 // drops out.
 //
-// Two lookup strategies are available. The default keeps a map next to the
-// list for O(1) search. The paper's own implementation "requires the
-// element-wise search within the list" (§V.3.3) — pass scan=true to
-// reproduce that O(n) behaviour for the Fig. 15 ablation.
+// Entries link through their intrusive prev/next fields, so insertion and
+// drop-out allocate nothing. The table keeps no object index: hot-path
+// membership is resolved by the owning Tables' unified directory (one map
+// probe shared with the ordered tables) followed by an O(1) RemoveEntry.
+// The by-object methods here search element-wise, exactly the behaviour
+// the paper's own implementation "requires … within the list" (§V.3.3);
+// they serve the Fig. 15 ablation path and direct unit tests.
 type SingleTable struct {
 	capacity int
 	// head/tail sentinels; head.next is the top (most recent).
-	head, tail *singleNode
+	head, tail Entry
 	size       int
-	// index is nil in scan mode.
-	index map[ids.ObjectID]*singleNode
-}
-
-type singleNode struct {
-	entry      *Entry
-	prev, next *singleNode
+	// scan records that the paper-faithful linear-search mode was
+	// requested. Search is element-wise either way now that the index
+	// map lives in Tables; the flag is kept so dumps and tests can
+	// report the configured mode.
+	scan bool
 }
 
 // NewSingleTable returns an empty single-table with the given capacity.
-// scan selects the paper-faithful linear-search mode. Capacity must be
-// positive; the constructor in Tables validates configuration.
+// scan selects the paper-faithful linear-search mode, which also disables
+// the owning Tables' directory so every probe is element-wise (Fig. 15).
+// Capacity must be positive; the constructor in Tables validates
+// configuration.
 func NewSingleTable(capacity int, scan bool) *SingleTable {
-	t := &SingleTable{
-		capacity: capacity,
-		head:     &singleNode{},
-		tail:     &singleNode{},
-	}
-	t.head.next = t.tail
-	t.tail.prev = t.head
-	if !scan {
-		t.index = make(map[ids.ObjectID]*singleNode, capacity)
-	}
+	t := &SingleTable{capacity: capacity, scan: scan}
+	t.head.next = &t.tail
+	t.tail.prev = &t.head
 	return t
 }
 
@@ -57,80 +53,70 @@ func (t *SingleTable) Contains(obj ids.ObjectID) bool {
 // touch LRU order: in the paper only (re-)insertion moves an entry to the
 // top; Forward_Addr lookups leave the order untouched.
 func (t *SingleTable) Get(obj ids.ObjectID) *Entry {
-	if n := t.find(obj); n != nil {
-		return n.entry
-	}
-	return nil
+	return t.find(obj)
 }
 
 // Remove takes the entry for obj out of the table, returning nil if absent.
 func (t *SingleTable) Remove(obj ids.ObjectID) *Entry {
-	n := t.find(obj)
-	if n == nil {
+	e := t.find(obj)
+	if e == nil {
 		return nil
 	}
-	t.unlink(n)
-	if t.index != nil {
-		delete(t.index, obj)
-	}
-	t.size--
-	return n.entry
+	t.unlink(e)
+	return e
 }
+
+// RemoveEntry unlinks a known-present entry in O(1).
+func (t *SingleTable) RemoveEntry(e *Entry) { t.unlink(e) }
 
 // InsertTop places e on top of the table (the paper's InsertOnTop). If the
 // table is full, the bottom entry drops out and is returned; otherwise the
 // return is nil. The caller must ensure e's object is not already present.
 func (t *SingleTable) InsertTop(e *Entry) (dropped *Entry) {
-	var n *singleNode
 	if t.size >= t.capacity {
-		last := t.tail.prev
-		t.unlink(last)
-		if t.index != nil {
-			delete(t.index, last.entry.Object)
-		}
-		t.size--
-		dropped = last.entry
-		// Reuse the node freed by the drop: at steady state (a full
-		// table, the common case) InsertTop allocates nothing.
-		last.entry = e
-		n = last
-	} else {
-		n = &singleNode{entry: e}
+		dropped = t.tail.prev
+		t.unlink(dropped)
 	}
-	n.prev = t.head
-	n.next = t.head.next
-	t.head.next.prev = n
-	t.head.next = n
-	if t.index != nil {
-		t.index[e.Object] = n
-	}
+	e.prev = &t.head
+	e.next = t.head.next
+	t.head.next.prev = e
+	t.head.next = e
 	t.size++
 	return dropped
+}
+
+// Each calls fn for every entry from top (most recent) to bottom until fn
+// returns false. It allocates nothing; the entries must not be mutated or
+// reinserted during the walk.
+func (t *SingleTable) Each(fn func(*Entry) bool) {
+	for e := t.head.next; e != &t.tail; e = e.next {
+		if !fn(e) {
+			return
+		}
+	}
 }
 
 // Entries returns the entries from top (most recent) to bottom.
 func (t *SingleTable) Entries() []*Entry {
 	out := make([]*Entry, 0, t.size)
-	for n := t.head.next; n != t.tail; n = n.next {
-		out = append(out, n.entry)
+	for e := t.head.next; e != &t.tail; e = e.next {
+		out = append(out, e)
 	}
 	return out
 }
 
-func (t *SingleTable) find(obj ids.ObjectID) *singleNode {
-	if t.index != nil {
-		return t.index[obj]
-	}
-	for n := t.head.next; n != t.tail; n = n.next {
-		if n.entry.Object == obj {
-			return n
+func (t *SingleTable) find(obj ids.ObjectID) *Entry {
+	for e := t.head.next; e != &t.tail; e = e.next {
+		if e.Object == obj {
+			return e
 		}
 	}
 	return nil
 }
 
-func (t *SingleTable) unlink(n *singleNode) {
-	n.prev.next = n.next
-	n.next.prev = n.prev
-	n.prev, n.next = nil, nil
+func (t *SingleTable) unlink(e *Entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+	t.size--
 }

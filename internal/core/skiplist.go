@@ -2,9 +2,8 @@ package core
 
 import "github.com/adc-sim/adc/internal/ids"
 
-// skipTable is the skip-list backend for Ordered — the "more adapted data
-// structure" the paper's §V.3.3 calls for to replace the O(n) shifting of
-// the sorted-slice tables. All operations are O(log n) expected.
+// skipTable is the skip-list backend for Ordered — an O(log n) pointer
+// structure alternative to the sorted slice's O(n) shifting.
 //
 // Level coins come from a private xorshift generator with a fixed seed, so
 // a simulation run is bit-for-bit reproducible regardless of backend.
@@ -14,7 +13,6 @@ type skipTable struct {
 	size     int
 	level    int
 	rng      uint64
-	index    map[ids.ObjectID]*Entry
 }
 
 const skipMaxLevel = 24
@@ -34,7 +32,6 @@ func newSkipTable(capacity int) *skipTable {
 		head:     &skipNode{forward: make([]*skipNode, skipMaxLevel)},
 		level:    1,
 		rng:      0x9e3779b97f4a7c15,
-		index:    make(map[ids.ObjectID]*Entry, capacity),
 	}
 }
 
@@ -53,12 +50,19 @@ func (t *skipTable) randLevel() int {
 func (t *skipTable) Len() int { return t.size }
 func (t *skipTable) Cap() int { return t.capacity }
 
-func (t *skipTable) Contains(obj ids.ObjectID) bool {
-	_, ok := t.index[obj]
-	return ok
+// Get searches by object along level 0 — a linear walk used only by the
+// legacy ablation path and direct unit tests; the hot path resolves
+// membership through the Tables directory.
+func (t *skipTable) Get(obj ids.ObjectID) *Entry {
+	for x := t.head.forward[0]; x != nil; x = x.forward[0] {
+		if x.entry.Object == obj {
+			return x.entry
+		}
+	}
+	return nil
 }
 
-func (t *skipTable) Get(obj ids.ObjectID) *Entry { return t.index[obj] }
+func (t *skipTable) Contains(obj ids.ObjectID) bool { return t.Get(obj) != nil }
 
 // findPredecessors fills update with, per level, the last node whose entry
 // is strictly less than e.
@@ -73,13 +77,17 @@ func (t *skipTable) findPredecessors(e *Entry, update *[skipMaxLevel]*skipNode) 
 }
 
 func (t *skipTable) Remove(obj ids.ObjectID) *Entry {
-	e, ok := t.index[obj]
-	if !ok {
+	e := t.Get(obj)
+	if e == nil {
 		return nil
 	}
 	t.removeEntry(e)
 	return e
 }
+
+// RemoveEntry removes a known-present entry, located by its (Key, Object)
+// position in O(log n).
+func (t *skipTable) RemoveEntry(e *Entry) { t.removeEntry(e) }
 
 func (t *skipTable) removeEntry(e *Entry) {
 	var update [skipMaxLevel]*skipNode
@@ -98,7 +106,6 @@ func (t *skipTable) removeEntry(e *Entry) {
 	for t.level > 1 && t.head.forward[t.level-1] == nil {
 		t.level--
 	}
-	delete(t.index, e.Object)
 	t.size--
 }
 
@@ -125,7 +132,6 @@ func (t *skipTable) Insert(e *Entry) *Entry {
 	if n.forward[0] != nil {
 		n.forward[0].backward = n
 	}
-	t.index[e.Object] = e
 	t.size++
 	if t.size > t.capacity {
 		return t.RemoveWorst()
@@ -165,6 +171,14 @@ func (t *skipTable) last() *skipNode {
 		return nil
 	}
 	return x
+}
+
+func (t *skipTable) Each(fn func(*Entry) bool) {
+	for x := t.head.forward[0]; x != nil; x = x.forward[0] {
+		if !fn(x.entry) {
+			return
+		}
+	}
 }
 
 func (t *skipTable) Entries() []*Entry {

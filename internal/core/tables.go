@@ -15,11 +15,13 @@ type Config struct {
 	MultipleSize int
 	// CachingSize is the caching-table capacity — the local cache size.
 	CachingSize int
-	// Backend selects the ordered-table implementation (default: the
-	// paper's sorted slice).
+	// Backend selects the ordered-table implementation (default: btree,
+	// the bounded block B-tree).
 	Backend Backend
 	// SingleScan selects the paper-faithful O(n) linear-search
-	// single-table used for the Fig. 15 timing ablation.
+	// single-table used for the Fig. 15 timing ablation. It also
+	// disables the unified directory, so every table probe is
+	// element-wise exactly as in the paper's own implementation.
 	SingleScan bool
 	// CacheAdmitAll replaces selective caching with the behaviour the
 	// paper ascribes to hierarchical and hashing systems: "every proxy
@@ -47,11 +49,17 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: caching-table size must be positive, got %d", c.CachingSize)
 	}
 	switch c.Backend {
-	case BackendSlice, BackendSkipList, BackendList:
+	case BackendBTree, BackendSlice, BackendSkipList, BackendList:
 	default:
 		return fmt.Errorf("core: unknown ordered-table backend %d", int(c.Backend))
 	}
 	return nil
+}
+
+// slot is one directory cell: which table holds the object and its entry.
+type slot struct {
+	kind  Kind
+	entry *Entry
 }
 
 // Tables is one proxy's complete mapping-table state: the single-, multiple-
@@ -59,10 +67,25 @@ func (c Config) Validate() error {
 // them (paper Fig. 8). The caching table doubles as the cache itself — its
 // entries "represent actually stored objects" (§III.3.3); since the testbed
 // does not move payloads (§V.1), membership is storage.
+//
+// A unified directory (one map over all three tables) resolves every
+// membership question — Lookup, IsCached, ForwardLocation and the find
+// phase of Update — with exactly one map probe; the tables themselves keep
+// no per-table index and are touched only by position (RemoveEntry,
+// Insert). The directory is disabled in the paper-faithful timing modes
+// (SingleScan, BackendList) so the Fig. 15 ablation measures element-wise
+// search exactly as the paper did.
 type Tables struct {
 	single   *SingleTable
 	multiple Ordered
 	caching  Ordered
+
+	// dir maps every known object to its table and entry; nil in the
+	// paper-faithful probe modes.
+	dir map[ids.ObjectID]slot
+	// arena slab-allocates entries and recycles the ones the system
+	// forgets (Outcome.Dropped, via Recycle).
+	arena entryArena
 
 	admitAll bool
 	agingOff bool
@@ -77,13 +100,17 @@ func NewTables(cfg Config) (*Tables, error) {
 	if cfg.CacheAdmitAll {
 		caching = newLRUOrdered(cfg.CachingSize)
 	}
-	return &Tables{
+	t := &Tables{
 		single:   NewSingleTable(cfg.SingleSize, cfg.SingleScan),
 		multiple: NewOrdered(cfg.MultipleSize, cfg.Backend),
 		caching:  caching,
 		admitAll: cfg.CacheAdmitAll,
 		agingOff: cfg.AgingOff,
-	}, nil
+	}
+	if !cfg.SingleScan && cfg.Backend != BackendList {
+		t.dir = make(map[ids.ObjectID]slot, cfg.SingleSize+cfg.MultipleSize+cfg.CachingSize)
+	}
+	return t, nil
 }
 
 // Single exposes the single-table (read-mostly: dumps, tests, metrics).
@@ -95,15 +122,14 @@ func (t *Tables) Multiple() Ordered { return t.multiple }
 // Caching exposes the caching table.
 func (t *Tables) Caching() Ordered { return t.caching }
 
-// IsCached reports whether obj is in the local cache, i.e. has a caching-
-// table entry.
-func (t *Tables) IsCached(obj ids.ObjectID) bool {
-	return t.caching.Contains(obj)
-}
-
-// Lookup finds the entry for obj, searching "in the order caching table,
-// multiple-table and single-table" (§IV.3). It never mutates state.
-func (t *Tables) Lookup(obj ids.ObjectID) (*Entry, Kind) {
+// locate finds the entry for obj and the table holding it: one directory
+// probe, or — in the paper-faithful modes — sequential probes "in the order
+// caching table, multiple-table and single-table" (§IV.3).
+func (t *Tables) locate(obj ids.ObjectID) (*Entry, Kind) {
+	if t.dir != nil {
+		s := t.dir[obj]
+		return s.entry, s.kind
+	}
 	if e := t.caching.Get(obj); e != nil {
 		return e, KindCaching
 	}
@@ -114,6 +140,35 @@ func (t *Tables) Lookup(obj ids.ObjectID) (*Entry, Kind) {
 		return e, KindSingle
 	}
 	return nil, KindNone
+}
+
+// dirSet records obj's table and entry; no-op in probe mode.
+func (t *Tables) dirSet(obj ids.ObjectID, kind Kind, e *Entry) {
+	if t.dir != nil {
+		t.dir[obj] = slot{kind: kind, entry: e}
+	}
+}
+
+// dirDel forgets obj; no-op in probe mode.
+func (t *Tables) dirDel(obj ids.ObjectID) {
+	if t.dir != nil {
+		delete(t.dir, obj)
+	}
+}
+
+// IsCached reports whether obj is in the local cache, i.e. has a caching-
+// table entry.
+func (t *Tables) IsCached(obj ids.ObjectID) bool {
+	if t.dir != nil {
+		return t.dir[obj].kind == KindCaching
+	}
+	return t.caching.Contains(obj)
+}
+
+// Lookup finds the entry for obj, searching "in the order caching table,
+// multiple-table and single-table" (§IV.3). It never mutates state.
+func (t *Tables) Lookup(obj ids.ObjectID) (*Entry, Kind) {
+	return t.locate(obj)
 }
 
 // Outcome reports what Update did, so the proxy can maintain its counters
@@ -131,14 +186,17 @@ type Outcome struct {
 	// the top of the single-table to make room, if any.
 	MultipleEvicted *Entry
 	// Dropped is the entry that fell off the bottom of the single-table,
-	// if any; the system forgets it entirely.
+	// if any; the system forgets it entirely. Hand the outcome to
+	// Recycle once the caller is done reading it so the entry returns
+	// to the arena.
 	Dropped *Entry
 }
 
 // Update is the paper's Update_Entry(Object, Location) (Fig. 8), executed
-// at proxy-local logical time now. It finds the entry (caching, then
-// multiple, then single table), folds in the new access via CalcAverage,
-// rewrites the location, and applies the promotion rules:
+// at proxy-local logical time now. It finds the entry (one directory probe,
+// or table-order probes in the paper-faithful modes), folds in the new
+// access via CalcAverage, rewrites the location, and applies the promotion
+// rules:
 //
 //   - caching-table entries are updated in place (re-inserted in order);
 //   - multiple-table entries move into the caching table when their aged
@@ -152,49 +210,60 @@ type Outcome struct {
 // the candidate beat its current worst entry, matching "newly arriving
 // objects have to have a lower average value than the worst case currently
 // residing in the table" (§III.3.2).
+//
+// Entries are always removed from their table before CalcAverage mutates
+// the key: position-based removal (RemoveEntry) locates the entry by its
+// stored key.
 func (t *Tables) Update(obj ids.ObjectID, loc ids.NodeID, now int64) Outcome {
 	if t.admitAll {
 		return t.updateLRU(obj, loc, now)
 	}
 
-	// Part 1: caching table.
-	if e := t.caching.Remove(obj); e != nil {
+	e, kind := t.locate(obj)
+	switch kind {
+	case KindCaching:
+		// Part 1: caching table — update in place.
+		t.caching.RemoveEntry(e)
 		e.CalcAverage(now)
 		e.Location = loc
 		t.caching.Insert(e) // room is guaranteed: we just removed e
 		return Outcome{From: KindCaching, To: KindCaching}
-	}
 
-	// Part 2: multiple-table.
-	if e := t.multiple.Remove(obj); e != nil {
+	case KindMultiple:
+		// Part 2: multiple-table.
+		t.multiple.RemoveEntry(e)
 		e.CalcAverage(now)
 		e.Location = loc
 		if t.admits(t.caching, e) {
 			out := Outcome{From: KindMultiple, To: KindCaching}
+			t.dirSet(obj, KindCaching, e)
 			if evicted := t.caching.Insert(e); evicted != nil {
 				// The demoted worst returns to the
 				// multiple-table, which has room because e
 				// just left it.
 				t.multiple.Insert(evicted)
+				t.dirSet(evicted.Object, KindMultiple, evicted)
 				out.CacheEvicted = evicted
 			}
 			return out
 		}
 		t.multiple.Insert(e)
 		return Outcome{From: KindMultiple, To: KindMultiple}
-	}
 
-	// Part 3: single-table.
-	if e := t.single.Remove(obj); e != nil {
+	case KindSingle:
+		// Part 3: single-table.
+		t.single.RemoveEntry(e)
 		e.CalcAverage(now)
 		e.Location = loc
 		if t.admits(t.multiple, e) {
 			out := Outcome{From: KindSingle, To: KindMultiple}
+			t.dirSet(obj, KindMultiple, e)
 			if evicted := t.multiple.Insert(e); evicted != nil {
 				// The multiple-table's worst goes on top of
 				// the single-table (Fig. 8 Part 3); the
 				// single-table has room because e just left.
 				t.single.InsertTop(evicted)
+				t.dirSet(evicted.Object, KindSingle, evicted)
 				out.MultipleEvicted = evicted
 			}
 			return out
@@ -204,9 +273,12 @@ func (t *Tables) Update(obj ids.ObjectID, loc ids.NodeID, now int64) Outcome {
 	}
 
 	// Part 4: unknown object — new entry on top of the single-table.
-	e := NewEntry(obj, loc, now)
-	e.noAge = t.agingOff
+	e = t.alloc(obj, loc, now)
 	dropped := t.single.InsertTop(e)
+	t.dirSet(obj, KindSingle, e)
+	if dropped != nil {
+		t.dirDel(dropped.Object)
+	}
 	return Outcome{From: KindNone, To: KindSingle, Dropped: dropped}
 }
 
@@ -216,29 +288,55 @@ func (t *Tables) Update(obj ids.ObjectID, loc ids.NodeID, now int64) Outcome {
 // (average, location, single-occupancy invariant) still applies; evictions
 // land on top of the single-table so the proxy keeps routing knowledge.
 func (t *Tables) updateLRU(obj ids.ObjectID, loc ids.NodeID, now int64) Outcome {
-	from := KindCaching
-	e := t.caching.Remove(obj)
-	if e == nil {
-		if e = t.multiple.Remove(obj); e != nil {
-			from = KindMultiple
-		} else if e = t.single.Remove(obj); e != nil {
-			from = KindSingle
-		} else {
-			e = NewEntry(obj, loc, now)
-			e.noAge = t.agingOff
-			from = KindNone
-		}
+	e, from := t.locate(obj)
+	switch from {
+	case KindCaching:
+		t.caching.RemoveEntry(e)
+	case KindMultiple:
+		t.multiple.RemoveEntry(e)
+	case KindSingle:
+		t.single.RemoveEntry(e)
+	default:
+		e = t.alloc(obj, loc, now)
 	}
 	if from != KindNone {
 		e.CalcAverage(now)
 		e.Location = loc
 	}
 	out := Outcome{From: from, To: KindCaching}
-	if evicted := t.caching.Insert(e); evicted != nil && evicted != e {
+	t.dirSet(obj, KindCaching, e)
+	if evicted := t.caching.Insert(e); evicted != nil {
+		if evicted == e {
+			// Zero-capacity cache bounced the entry itself; the
+			// system forgets it (unreachable after Validate).
+			t.dirDel(obj)
+			return out
+		}
 		out.CacheEvicted = evicted
 		out.Dropped = t.single.InsertTop(evicted)
+		t.dirSet(evicted.Object, KindSingle, evicted)
+		if out.Dropped != nil {
+			t.dirDel(out.Dropped.Object)
+		}
 	}
 	return out
+}
+
+// alloc hands out a fresh entry from the arena, configured for this
+// proxy's aging mode.
+func (t *Tables) alloc(obj ids.ObjectID, loc ids.NodeID, now int64) *Entry {
+	e := t.arena.get(obj, loc, now)
+	e.noAge = t.agingOff
+	return e
+}
+
+// Recycle returns the entries an Update expelled from the system to the
+// arena for reuse. Call it after the last read of the outcome: the dropped
+// entry is zeroed and may back a future allocation immediately.
+func (t *Tables) Recycle(out Outcome) {
+	if out.Dropped != nil {
+		t.arena.put(out.Dropped)
+	}
 }
 
 // admits reports whether ordered table dst accepts candidate e: a table
@@ -262,7 +360,7 @@ func (t *Tables) admits(dst Ordered, e *Entry) bool {
 // tables (the paper's Forward_Addr, Fig. 6). ok is false when no table has
 // an entry, in which case the proxy falls back to random peer selection.
 func (t *Tables) ForwardLocation(obj ids.ObjectID) (ids.NodeID, bool) {
-	e, kind := t.Lookup(obj)
+	e, kind := t.locate(obj)
 	if kind == KindNone {
 		return ids.None, false
 	}

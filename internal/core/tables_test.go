@@ -297,7 +297,7 @@ func TestObjectInAtMostOneTable(t *testing.T) {
 // TestTablesBoundedUnderChurn is invariant 1 under a long random workload,
 // for both backends.
 func TestTablesBoundedUnderChurn(t *testing.T) {
-	for _, backend := range []Backend{BackendSlice, BackendSkipList} {
+	for _, backend := range []Backend{BackendBTree, BackendSlice, BackendSkipList} {
 		t.Run(backend.String(), func(t *testing.T) {
 			tbl, err := NewTables(Config{
 				SingleSize: 8, MultipleSize: 5, CachingSize: 3,
@@ -319,7 +319,9 @@ func TestTablesBoundedUnderChurn(t *testing.T) {
 }
 
 // TestBackendEquivalenceEndToEnd: the full Update state machine must behave
-// identically on both ordered-table backends.
+// identically on every ordered-table backend — same Outcome stream (kinds
+// and moved objects) and same final table dumps, with the paper's sorted
+// slice as the reference.
 func TestBackendEquivalenceEndToEnd(t *testing.T) {
 	mk := func(b Backend) *Tables {
 		tbl, err := NewTables(Config{SingleSize: 6, MultipleSize: 4, CachingSize: 3, Backend: b})
@@ -328,28 +330,45 @@ func TestBackendEquivalenceEndToEnd(t *testing.T) {
 		}
 		return tbl
 	}
-	a, b := mk(BackendSlice), mk(BackendSkipList)
-	rng := rand.New(rand.NewSource(1234))
-	for i := int64(1); i <= 30000; i++ {
-		obj := ids.ObjectID(rng.Intn(60))
-		loc := ids.NodeID(rng.Intn(5))
-		oa := a.Update(obj, loc, i)
-		ob := b.Update(obj, loc, i)
-		if oa.From != ob.From || oa.To != ob.To {
-			t.Fatalf("step %d: outcome mismatch %+v vs %+v", i, oa, ob)
+	outcomeObj := func(e *Entry) ids.ObjectID {
+		if e == nil {
+			return ^ids.ObjectID(0)
 		}
-		if a.IsCached(obj) != b.IsCached(obj) {
-			t.Fatalf("step %d: IsCached mismatch for %v", i, obj)
-		}
+		return e.Object
 	}
-	ea, eb := a.Caching().Entries(), b.Caching().Entries()
-	if len(ea) != len(eb) {
-		t.Fatalf("final cache sizes differ: %d vs %d", len(ea), len(eb))
-	}
-	for i := range ea {
-		if ea[i].Object != eb[i].Object {
-			t.Fatalf("final cache order differs at %d", i)
-		}
+	for _, backend := range []Backend{BackendBTree, BackendSkipList, BackendList} {
+		t.Run(backend.String(), func(t *testing.T) {
+			a, b := mk(BackendSlice), mk(backend)
+			rng := rand.New(rand.NewSource(1234))
+			for i := int64(1); i <= 30000; i++ {
+				obj := ids.ObjectID(rng.Intn(60))
+				loc := ids.NodeID(rng.Intn(5))
+				oa := a.Update(obj, loc, i)
+				ob := b.Update(obj, loc, i)
+				if oa.From != ob.From || oa.To != ob.To {
+					t.Fatalf("step %d: outcome mismatch %+v vs %+v", i, oa, ob)
+				}
+				if outcomeObj(oa.CacheEvicted) != outcomeObj(ob.CacheEvicted) ||
+					outcomeObj(oa.MultipleEvicted) != outcomeObj(ob.MultipleEvicted) ||
+					outcomeObj(oa.Dropped) != outcomeObj(ob.Dropped) {
+					t.Fatalf("step %d: moved objects mismatch %+v vs %+v", i, oa, ob)
+				}
+				if a.IsCached(obj) != b.IsCached(obj) {
+					t.Fatalf("step %d: IsCached mismatch for %v", i, obj)
+				}
+			}
+			var da, db strings.Builder
+			if err := a.Dump(&da, 30001); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Dump(&db, 30001); err != nil {
+				t.Fatal(err)
+			}
+			if da.String() != db.String() {
+				t.Fatalf("final dumps differ:\n--- slice ---\n%s\n--- %s ---\n%s",
+					da.String(), backend, db.String())
+			}
+		})
 	}
 }
 

@@ -150,8 +150,9 @@ func BackendComparison(p Profile, requests int) ([]BackendPoint, error) {
 	}
 	variants := []variant{
 		{core.BackendList, true},      // the paper's implementation
-		{core.BackendSlice, false},    // binary search + O(1) LRU index
+		{core.BackendSlice, false},    // binary search + unified directory
 		{core.BackendSkipList, false}, // the proposed replacement
+		{core.BackendBTree, false},    // the default block B-tree
 	}
 	wcfg := p.WorkloadConfig()
 	if requests > 0 {

@@ -247,7 +247,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	p.stats.Requests++
 	if payload, ok := p.store[obj]; ok {
 		p.stats.LocalHits++
-		p.tables.Update(obj, p.id, p.localTime)
+		p.tables.Recycle(p.tables.Update(obj, p.id, p.localTime))
 		p.mu.Unlock()
 		w.Header().Set(HeaderResolver, p.id.String())
 		w.Header().Set(HeaderCached, "1")
@@ -308,6 +308,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		p.stats.CacheEvictions++
 		delete(p.store, out.CacheEvicted.Object)
 	}
+	p.tables.Recycle(out) // last read of the outcome
 	cached := hdr.Get(HeaderCached) == "1"
 	if !cached {
 		if _, stillCached := p.store[obj]; stillCached {

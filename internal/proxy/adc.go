@@ -222,4 +222,7 @@ func (p *ADC) recordOutcome(out core.Outcome) {
 	if out.CacheEvicted != nil {
 		p.stats.CacheEvictions++
 	}
+	// Last reader of the outcome: entries the tables forgot go back to
+	// the arena.
+	p.tables.Recycle(out)
 }
