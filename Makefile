@@ -12,7 +12,7 @@ ENGINE_BENCH = BenchmarkVEngine|BenchmarkEngineADC|BenchmarkClusterRun
 # end-to-end engine benchmark the table overhaul moves.
 TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup
 
-.PHONY: all build test race vet bench bench-tables bench-compare bench-sweep bench-profile figures clean
+.PHONY: all build test race vet faults bench bench-tables bench-compare bench-sweep bench-profile figures clean
 
 all: build test
 
@@ -27,6 +27,13 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection gate: race-clean tests of the fault/recovery packages,
+# then the resilience experiment at smoke scale (hit rate & completion vs
+# message loss, with and without the recovery protocol).
+faults:
+	$(GO) test -race ./internal/sim ./internal/proxy ./internal/cluster
+	$(GO) run ./cmd/adcsweep -metric resilience -scale 0.01 -losses 0,0.01,0.05
 
 # Engine hot-path benchmarks: runs the sim and cluster benchmarks and
 # records name, ns/op and allocs/op plus the git SHA in BENCH_engine.json.

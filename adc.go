@@ -36,6 +36,7 @@ import (
 
 	"github.com/adc-sim/adc/internal/cluster"
 	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/sim"
 )
 
@@ -198,6 +199,71 @@ type Config struct {
 	// starts with empty tables and attracts load purely through
 	// self-organization.
 	JoinProxyAt []uint64
+
+	// Faults injects deterministic failures — message loss, delay
+	// jitter, fail-stop proxy crashes — into the run (requires
+	// RuntimeVirtualTime). nil keeps the paper's lossless transport.
+	Faults *FaultPlan
+
+	// Recovery enables the timeout/retransmission/pending-TTL recovery
+	// protocol, an extension beyond the paper's algorithm (requires
+	// RuntimeVirtualTime). nil disables it; zero fields of a non-nil
+	// Recovery take the reference defaults.
+	Recovery *Recovery
+}
+
+// FaultPlan is a deterministic failure schedule. All randomness derives
+// from the plan's own seed, so identical plans produce identical drops,
+// delays and crashes on every run.
+type FaultPlan struct {
+	// Seed drives the plan's private random stream (default: the run's
+	// Seed).
+	Seed int64
+	// Loss is the i.i.d. probability in [0, 1] that any network transfer
+	// is discarded.
+	Loss float64
+	// Jitter adds a uniform random delay in [0, Jitter] virtual ticks to
+	// every surviving transfer.
+	Jitter int64
+	// LinkLoss adds extra loss on specific directed proxy→proxy links.
+	LinkLoss []LinkLoss
+	// Crashes schedules fail-stop proxy failures (ADC only).
+	Crashes []Crash
+}
+
+// LinkLoss is a per-directed-link loss rate between two proxies.
+type LinkLoss struct {
+	// FromProxy and ToProxy are 0-based proxy indices.
+	FromProxy, ToProxy int
+	// Rate is the loss probability in [0, 1] on this link.
+	Rate float64
+}
+
+// Crash schedules one fail-stop proxy failure: the proxy drops all traffic
+// from At until RestartAt (0 = stays down). LoseTables selects a cold
+// restart with empty mapping tables; volatile request state is always lost.
+type Crash struct {
+	// Proxy is the 0-based index of the crashing proxy.
+	Proxy int
+	// At and RestartAt are virtual times in ticks.
+	At, RestartAt int64
+	// LoseTables rebuilds the mapping tables empty on restart.
+	LoseTables bool
+}
+
+// Recovery parameterizes the opt-in recovery protocol. All durations are
+// virtual ticks; zero fields take the reference defaults (400 ms timeout,
+// 8 retries, backoff 2, 1 s pending TTL under the default latency model).
+type Recovery struct {
+	// Timeout is the client's first-attempt timeout.
+	Timeout int64
+	// MaxRetries bounds retransmissions per request before abandoning.
+	MaxRetries int
+	// Backoff multiplies the timeout after every retry (≥ 1).
+	Backoff float64
+	// PendingTTL expires proxy loop-detection entries whose reply never
+	// came back.
+	PendingTTL int64
 }
 
 // withDefaults fills unset fields with the documented defaults.
@@ -282,6 +348,42 @@ func (c Config) toInternal() (cluster.Config, error) {
 	if !ok {
 		return cluster.Config{}, fmt.Errorf("adc: unknown backend %q", c.Backend)
 	}
+	var faults *sim.FaultPlan
+	if c.Faults != nil {
+		faults = &sim.FaultPlan{
+			Seed:   c.Faults.Seed,
+			Loss:   c.Faults.Loss,
+			Jitter: c.Faults.Jitter,
+		}
+		if faults.Seed == 0 {
+			faults.Seed = c.Seed
+		}
+		for _, l := range c.Faults.LinkLoss {
+			faults.LinkLoss = append(faults.LinkLoss, sim.LinkLoss{
+				From: ids.NodeID(l.FromProxy),
+				To:   ids.NodeID(l.ToProxy),
+				Rate: l.Rate,
+			})
+		}
+		for _, cr := range c.Faults.Crashes {
+			faults.Crashes = append(faults.Crashes, sim.Crash{
+				Node:       ids.NodeID(cr.Proxy),
+				At:         cr.At,
+				RestartAt:  cr.RestartAt,
+				LoseTables: cr.LoseTables,
+			})
+		}
+	}
+	var recovery sim.Recovery
+	if c.Recovery != nil {
+		recovery = sim.Recovery{
+			Enabled:    true,
+			Timeout:    c.Recovery.Timeout,
+			MaxRetries: c.Recovery.MaxRetries,
+			Backoff:    c.Recovery.Backoff,
+			PendingTTL: c.Recovery.PendingTTL,
+		}
+	}
 	return cluster.Config{
 		Algorithm:  algo,
 		NumProxies: c.Proxies,
@@ -305,6 +407,8 @@ func (c Config) toInternal() (cluster.Config, error) {
 		OpenLoopInterval: c.OpenLoopInterval,
 		Poisson:          c.Poisson,
 		JoinProxyAt:      c.JoinProxyAt,
+		Faults:           faults,
+		Recovery:         recovery,
 	}, nil
 }
 
@@ -318,17 +422,21 @@ type Point struct {
 	CumHops    float64
 }
 
-// ProxyStats are one proxy's event counters after a run.
+// ProxyStats are one proxy's event counters after a run. The last three
+// belong to the recovery extension and stay zero in paper-faithful runs.
 type ProxyStats struct {
-	Requests        uint64
-	LocalHits       uint64
-	ForwardLearned  uint64
-	ForwardRandom   uint64
-	ForwardOrigin   uint64
-	LoopsDetected   uint64
-	RepliesSeen     uint64
-	CacheInsertions uint64
-	CacheEvictions  uint64
+	Requests          uint64
+	LocalHits         uint64
+	ForwardLearned    uint64
+	ForwardRandom     uint64
+	ForwardOrigin     uint64
+	LoopsDetected     uint64
+	RepliesSeen       uint64
+	CacheInsertions   uint64
+	CacheEvictions    uint64
+	ExpiredPending    uint64
+	StaleInvalidated  uint64
+	UnexpectedReplies uint64
 }
 
 // Result is the outcome of one simulation.
@@ -354,6 +462,33 @@ type Result struct {
 	ProxyStats []ProxyStats
 	// OriginResolved counts requests the origin server had to answer.
 	OriginResolved uint64
+
+	// Fault/recovery observability. All of the following are zero in
+	// lossless runs without recovery.
+	//
+	// Injected counts logical client requests (retransmissions count
+	// once); Completion is Requests/Injected — below 1 when loss strands
+	// or abandons chains.
+	Injected   uint64
+	Completion float64
+	// Dropped counts messages the engine discarded: fault-plan losses
+	// and deliveries addressed to crashed proxies — the run's
+	// undelivered in-flight messages.
+	Dropped uint64
+	// LeakedPending is the total of unretired loop-detection pending
+	// entries across ADC proxies at run end (0 with recovery enabled:
+	// the TTL drains them).
+	LeakedPending int
+	// Timeouts/Retries/Abandoned/StaleReplies are the recovery
+	// protocol's client-side counters; Abandoned counts permanently
+	// stranded chains.
+	Timeouts     uint64
+	Retries      uint64
+	Abandoned    uint64
+	StaleReplies uint64
+	// Crashes and Restarts count applied fail-stop transitions.
+	Crashes  uint64
+	Restarts uint64
 }
 
 // Run builds a cluster for cfg and replays src against it.
@@ -383,6 +518,16 @@ func convertResult(res *cluster.Result) *Result {
 		MeanResponse:   res.Summary.MeanResponse,
 		MaxResponse:    res.Summary.MaxResponse,
 		OriginResolved: res.OriginResolved,
+		Injected:       res.Injected,
+		Completion:     res.Completion,
+		Dropped:        res.Dropped,
+		LeakedPending:  res.LeakedPending,
+		Timeouts:       res.Summary.Timeouts,
+		Retries:        res.Summary.Retries,
+		Abandoned:      res.Summary.Abandoned,
+		StaleReplies:   res.Summary.StaleReplies,
+		Crashes:        res.Faults.Crashes,
+		Restarts:       res.Faults.Restarts,
 	}
 	for _, p := range res.Series {
 		out.Series = append(out.Series, Point{

@@ -43,7 +43,7 @@ func run(args []string) error {
 		caching    = fs.Int("caching", 1000, "caching-table / LRU cache size (entries)")
 		maxHops    = fs.Int("maxhops", 0, "forwarding bound (0 = unbounded)")
 		seed       = fs.Int64("seed", 1, "random seed")
-		runtime    = fs.String("runtime", "sequential", "runtime: sequential, agents or tcp")
+		runtime    = fs.String("runtime", "sequential", "runtime: sequential, agents, tcp or vtime")
 		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
 		entry      = fs.String("entry", "random", "entry policy: random, round-robin or fixed")
 		requests   = fs.Int("requests", 400_000, "synthetic workload length")
@@ -55,7 +55,10 @@ func run(args []string) error {
 		dump       = fs.Int("dump", -1, "after an ADC run, dump the top rows of this proxy's tables (paper Figs. 1–3)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
+		faultSpec  = fs.String("faults", "", "fault plan, e.g. 'loss=0.01,jitter=2000,crash=0@2000000-4000000!' (requires -runtime vtime)")
 	)
+	var recoverySpec optionalString
+	fs.Var(&recoverySpec, "recovery", "enable the recovery protocol; optionally 'timeout=400000,retries=8,backoff=2,ttl=1000000' (requires -runtime vtime)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -121,6 +124,26 @@ func run(args []string) error {
 		Runtime:       adc.Runtime(*runtime),
 		Backend:       adc.TableBackend(*backend),
 	}
+	if *faultSpec != "" {
+		if *runtime != "vtime" {
+			return fmt.Errorf("-faults requires -runtime vtime")
+		}
+		plan, err := adc.ParseFaultSpec(*faultSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Faults = plan
+	}
+	if recoverySpec.set {
+		if *runtime != "vtime" {
+			return fmt.Errorf("-recovery requires -runtime vtime")
+		}
+		rec, err := adc.ParseRecoverySpec(recoverySpec.value)
+		if err != nil {
+			return err
+		}
+		cfg.Recovery = rec
+	}
 	res, err := adc.Run(cfg, src)
 	if err != nil {
 		return err
@@ -137,12 +160,33 @@ func run(args []string) error {
 	fmt.Printf("path length    %.3f proxies\n", res.PathLen)
 	fmt.Printf("elapsed        %v (%.0f req/s)\n",
 		res.Elapsed.Round(1e6), float64(res.Requests)/res.Elapsed.Seconds())
+	if cfg.Faults != nil || cfg.Recovery != nil {
+		fmt.Printf("completion     %.4f (%d of %d injected)\n", res.Completion, res.Requests, res.Injected)
+		fmt.Printf("faults         dropped=%d crashes=%d restarts=%d\n", res.Dropped, res.Crashes, res.Restarts)
+		fmt.Printf("recovery       timeouts=%d retries=%d abandoned=%d stale-replies=%d leaked-pending=%d\n",
+			res.Timeouts, res.Retries, res.Abandoned, res.StaleReplies, res.LeakedPending)
+	}
 
 	if *verbose {
 		if err := printProxyStats(res.ProxyStats); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+// optionalString is a flag value that remembers whether it was provided at
+// all, so `-recovery ”` (defaults) is distinguishable from no flag.
+type optionalString struct {
+	value string
+	set   bool
+}
+
+func (o *optionalString) String() string { return o.value }
+
+func (o *optionalString) Set(s string) error {
+	o.value = s
+	o.set = true
 	return nil
 }
 

@@ -9,6 +9,7 @@
 //	adcsweep -metric time            # Fig. 15 on the paper-faithful O(n) tables
 //	adcsweep -scale 1 -metric hits   # full paper scale
 //	adcsweep -csv out.csv            # machine-readable output
+//	adcsweep -metric resilience      # hit rate & completion vs message loss
 package main
 
 import (
@@ -16,6 +17,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"text/tabwriter"
 	"time"
 
@@ -36,7 +39,9 @@ func run(args []string) error {
 		scale      = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		proxies    = fs.Int("proxies", 5, "number of proxies")
-		metric     = fs.String("metric", "hits", "metric: hits, hops or time")
+		metric     = fs.String("metric", "hits", "metric: hits, hops, time or resilience")
+		losses     = fs.String("losses", "", "resilience loss rates, comma-separated (default 0,0.005,0.01,0.02,0.05)")
+		recovery   = fs.String("recovery", "", "resilience recovery parameters, e.g. 'timeout=400000,retries=8' (empty = defaults)")
 		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
 		csvPath    = fs.String("csv", "", "also write CSV to this file")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
@@ -47,9 +52,9 @@ func run(args []string) error {
 		return err
 	}
 	switch *metric {
-	case "hits", "hops", "time":
+	case "hits", "hops", "time", "resilience":
 	default:
-		return fmt.Errorf("unknown metric %q (want hits, hops or time)", *metric)
+		return fmt.Errorf("unknown metric %q (want hits, hops, time or resilience)", *metric)
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -61,6 +66,13 @@ func run(args []string) error {
 		Backend: adc.TableBackend(*backend),
 	}
 	profile.Progress = progressLine(os.Stderr)
+
+	if *metric == "resilience" {
+		if err := runResilience(profile, *losses, *recovery, *csvPath); err != nil {
+			return err
+		}
+		return stopProfiles()
+	}
 
 	var pts []adc.SweepPoint
 	if *metric == "time" {
@@ -115,6 +127,60 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("\nwrote %s\n", *csvPath)
+	}
+	return nil
+}
+
+// runResilience runs the message-loss study: hit rate and completion vs
+// loss rate, with and without the recovery protocol.
+func runResilience(profile adc.Profile, lossList, recoverySpec, csvPath string) error {
+	var rates []float64
+	if lossList != "" {
+		for _, s := range strings.Split(lossList, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+			if err != nil {
+				return fmt.Errorf("bad loss rate %q: %w", s, err)
+			}
+			rates = append(rates, r)
+		}
+	}
+	rec, err := adc.ParseRecoverySpec(recoverySpec)
+	if err != nil {
+		return err
+	}
+	pts, err := adc.LossSweep(profile, rates, rec)
+	fmt.Fprintln(os.Stderr)
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "loss\trecovery\thit rate\tcompletion\tdropped\tretries\tabandoned\tleaked pending")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%.3f\t%v\t%.4f\t%.4f\t%d\t%d\t%d\t%d\n",
+			pt.Loss, pt.Recovery, pt.HitRate, pt.Completion,
+			pt.Dropped, pt.Retries, pt.Abandoned, pt.LeakedPending)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // close error checked below
+		fmt.Fprintln(f, "loss,recovery,hit_rate,completion,mean_response,dropped,timeouts,retries,abandoned,leaked_pending")
+		for _, pt := range pts {
+			fmt.Fprintf(f, "%.4f,%v,%.6f,%.6f,%.1f,%d,%d,%d,%d,%d\n",
+				pt.Loss, pt.Recovery, pt.HitRate, pt.Completion, pt.MeanResponse,
+				pt.Dropped, pt.Timeouts, pt.Retries, pt.Abandoned, pt.LeakedPending)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %s\n", csvPath)
 	}
 	return nil
 }

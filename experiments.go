@@ -398,6 +398,105 @@ type BackendPoint struct {
 	HitRate float64
 }
 
+// LossPoint is one (loss rate, recovery arm) measurement of the resilience
+// study — an extension beyond the paper, whose protocol assumes lossless
+// transport (§III.1).
+type LossPoint struct {
+	// Loss is the i.i.d. message loss probability.
+	Loss float64
+	// Recovery reports whether the timeout/retransmission protocol ran.
+	Recovery bool
+	// HitRate and MeanResponse cover completed requests only.
+	HitRate      float64
+	MeanResponse float64
+	// Completion is completed/injected logical requests (1 when nothing
+	// strands).
+	Completion float64
+	// Dropped counts discarded transfers; Timeouts, Retries and Abandoned
+	// are recovery counters (zero in the no-recovery arm).
+	Dropped   uint64
+	Timeouts  uint64
+	Retries   uint64
+	Abandoned uint64
+	// LeakedPending is unretired loop-detection state left at run end.
+	LeakedPending int
+}
+
+// LossSweep measures ADC under i.i.d. message loss, with and without the
+// recovery protocol, open-loop on the virtual-time engine. rates nil
+// selects 0/0.5/1/2/5%; rec nil selects the reference recovery parameters.
+func LossSweep(p Profile, rates []float64, rec *Recovery) ([]LossPoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.LossSweep(ip, rates, toSimRecovery(rec))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]LossPoint, len(r.Points))
+	for i, pt := range r.Points {
+		out[i] = LossPoint(pt)
+	}
+	return out, nil
+}
+
+// CrashRecoveryResult is the fail-stop convergence study: proxy 0 crashes
+// ~40% through the trace and restarts cold (tables lost) ~70% through,
+// with the recovery protocol on.
+type CrashRecoveryResult struct {
+	// CrashAt and RestartAt are the scheduled virtual times in ticks.
+	CrashAt, RestartAt int64
+	// Series is the windowed hit-rate time series across the run.
+	Series []Point
+	// BeforeHit, DownHit and AfterHit average the windowed hit rate over
+	// the pre-crash, down and post-restart phases.
+	BeforeHit, DownHit, AfterHit float64
+	// Completion, Dropped and LeakedPending as in LossPoint.
+	Completion    float64
+	Dropped       uint64
+	LeakedPending int
+}
+
+// CrashRecovery runs the fail-stop convergence study. rec nil selects the
+// reference recovery parameters.
+func CrashRecovery(p Profile, rec *Recovery) (*CrashRecoveryResult, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	r, err := experiments.CrashRecovery(ip, toSimRecovery(rec))
+	if err != nil {
+		return nil, err
+	}
+	return &CrashRecoveryResult{
+		CrashAt:       r.CrashAt,
+		RestartAt:     r.RestartAt,
+		Series:        convertPoints(r.Series),
+		BeforeHit:     r.BeforeHit,
+		DownHit:       r.DownHit,
+		AfterHit:      r.AfterHit,
+		Completion:    r.Completion,
+		Dropped:       r.Dropped,
+		LeakedPending: r.LeakedPending,
+	}, nil
+}
+
+// toSimRecovery converts the public pointer form (nil = defaults for
+// experiment use) to the internal value form.
+func toSimRecovery(r *Recovery) sim.Recovery {
+	if r == nil {
+		return sim.DefaultRecovery()
+	}
+	return sim.Recovery{
+		Enabled:    true,
+		Timeout:    r.Timeout,
+		MaxRetries: r.MaxRetries,
+		Backoff:    r.Backoff,
+		PendingTTL: r.PendingTTL,
+	}.Normalize()
+}
+
 // BackendComparison times one identical simulation on each ordered-table
 // backend.
 func BackendComparison(p Profile) ([]BackendPoint, error) {

@@ -8,7 +8,7 @@
 // Under closed-loop injection the runtime is confluent: messages of one
 // request chain are causally ordered, so every node observes the same
 // sequence of events as under the sequential engine and the metrics are
-// bit-identical (asserted by the integration tests, DESIGN.md §9.5).
+// bit-identical (asserted by the integration tests, DESIGN.md §10.5).
 package agent
 
 import (

@@ -170,6 +170,23 @@ type Config struct {
 	// request stream crosses each index (strictly increasing). Requires
 	// ADC, the sequential runtime and a single client (see churn.go).
 	JoinProxyAt []uint64
+
+	// Faults injects deterministic failures — seeded message loss, delay
+	// jitter, scheduled fail-stop crashes — into the run. Requires
+	// RuntimeVirtualTime; nil keeps the paper's lossless transport and
+	// leaves every code path byte-identical to a fault-free build.
+	Faults *sim.FaultPlan
+
+	// CrashProxyAt / RestartProxyAt are the churn-style convenience
+	// spelling of fail-stop failures (see churn.go); they merge into the
+	// engine's fault plan. Requires ADC and RuntimeVirtualTime.
+	CrashProxyAt   []ProxyCrash
+	RestartProxyAt []ProxyRestart
+
+	// Recovery enables the timeout/retransmission/pending-TTL recovery
+	// protocol — an extension beyond the paper. Requires
+	// RuntimeVirtualTime; the zero value is disabled.
+	Recovery sim.Recovery
 }
 
 // Validate reports the first configuration error.
@@ -201,7 +218,10 @@ func (c Config) Validate() error {
 	if c.OpenLoopInterval > 0 && c.Runtime != RuntimeVirtualTime {
 		return fmt.Errorf("cluster: open-loop injection requires the virtual-time runtime")
 	}
-	return c.validateChurn()
+	if err := c.validateChurn(); err != nil {
+		return err
+	}
+	return c.validateFaults()
 }
 
 // Result is the outcome of one run.
@@ -218,6 +238,23 @@ type Result struct {
 	// runtimes, which do not track a global delivery counter). Progress
 	// displays use it to report events/sec.
 	Delivered uint64
+	// Dropped counts messages the engine discarded — fault-plan losses
+	// and deliveries addressed to crashed proxies. Every drop in a run
+	// without retransmission is an undelivered in-flight message whose
+	// chain is stranded. Virtual-time runtime only.
+	Dropped uint64
+	// Injected counts logical client requests; retransmissions of a
+	// timed-out request count once. Completion is
+	// Summary.Requests/Injected — exactly 1 in lossless runs, below 1
+	// when loss strands or abandons chains.
+	Injected   uint64
+	Completion float64
+	// LeakedPending is the total of unretired loop-detection pending
+	// entries across ADC proxies at run end — the leaked state a lost
+	// reply leaves behind. Recovery's TTL drains it to zero.
+	LeakedPending int
+	// Faults holds the fault-injection counters (zero without a plan).
+	Faults sim.FaultStats
 	// Algorithm echoes the scheme that produced the result.
 	Algorithm Algorithm
 	// Elapsed is the wall-clock duration of the run.
@@ -231,6 +268,7 @@ type Driver interface {
 	Collector() *metrics.Collector
 	Done() bool
 	SetOnDone(fn func())
+	Injected() uint64
 }
 
 var (
@@ -269,6 +307,7 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 	if cfg.Window == 0 {
 		cfg.Window = metrics.DefaultWindow
 	}
+	cfg.Recovery = cfg.Recovery.Normalize()
 
 	c := &Cluster{cfg: cfg}
 
@@ -285,10 +324,11 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 	case ADC:
 		for _, id := range proxyIDs {
 			p, err := proxy.New(proxy.Config{
-				ID:     id,
-				Peers:  proxyIDs,
-				Tables: cfg.Tables,
-				Seed:   cfg.Seed,
+				ID:       id,
+				Peers:    proxyIDs,
+				Tables:   cfg.Tables,
+				Seed:     cfg.Seed,
+				Recovery: cfg.Recovery,
 			})
 			if err != nil {
 				return nil, err
@@ -396,6 +436,7 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 				MaxHops:       cfg.MaxHops,
 				IntervalTicks: cfg.OpenLoopInterval,
 				Poisson:       cfg.Poisson,
+				Recovery:      cfg.Recovery,
 			})
 		} else {
 			cl, err = sim.NewClient(sim.ClientConfig{
@@ -406,6 +447,7 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 				Seed:      cfg.Seed + int64(i)*104729,
 				Collector: collector,
 				MaxHops:   cfg.MaxHops,
+				Recovery:  cfg.Recovery,
 			})
 		}
 		if err != nil {
@@ -464,7 +506,11 @@ func (c *Cluster) Clients() []Driver { return c.clients }
 // A cluster is single-shot: build a fresh one per run.
 func (c *Cluster) Run() (*Result, error) {
 	start := time.Now()
-	var delivered uint64
+	var (
+		delivered  uint64
+		dropped    uint64
+		faultStats sim.FaultStats
+	)
 	switch c.cfg.Runtime {
 	case RuntimeSequential:
 		eng := sim.NewEngine()
@@ -494,10 +540,17 @@ func (c *Cluster) Run() (*Result, error) {
 				return nil, err
 			}
 		}
+		if plan := c.cfg.faultPlan(); plan != nil {
+			if err := eng.SetFaultPlan(plan); err != nil {
+				return nil, err
+			}
+		}
 		if err := eng.Run(); err != nil {
 			return nil, err
 		}
 		delivered = eng.Delivered()
+		dropped = eng.Dropped()
+		faultStats = eng.FaultStats()
 	case RuntimeAgents, RuntimeTCP:
 		if err := c.runConcurrent(); err != nil {
 			return nil, err
@@ -509,11 +562,19 @@ func (c *Cluster) Run() (*Result, error) {
 
 	for _, cl := range c.clients {
 		if !cl.Done() {
-			return nil, fmt.Errorf("cluster: client %v did not finish its trace", cl.ID())
+			// Under fault injection an unfinished trace is a measured
+			// outcome (stranded chains show up in Completion), not an
+			// execution error.
+			if !c.cfg.faultsActive() {
+				return nil, fmt.Errorf("cluster: client %v did not finish its trace", cl.ID())
+			}
+			break
 		}
 	}
 	res := c.collect(elapsed)
 	res.Delivered = delivered
+	res.Dropped = dropped
+	res.Faults = faultStats
 	return res, nil
 }
 
@@ -586,6 +647,11 @@ func (c *Cluster) collect(elapsed time.Duration) *Result {
 		if s.MaxResponse > merged.MaxResponse {
 			merged.MaxResponse = s.MaxResponse
 		}
+		merged.Timeouts += s.Timeouts
+		merged.Retries += s.Retries
+		merged.Abandoned += s.Abandoned
+		merged.StaleReplies += s.StaleReplies
+		res.Injected += cl.Injected()
 		if i == 0 {
 			res.Series = cl.Collector().Series()
 		}
@@ -599,8 +665,13 @@ func (c *Cluster) collect(elapsed time.Duration) *Result {
 	merged.Elapsed = elapsed
 	res.Summary = merged
 
+	if res.Injected > 0 {
+		res.Completion = float64(merged.Requests) / float64(res.Injected)
+	}
+
 	for _, p := range c.adcProxies {
 		res.ProxyStats = append(res.ProxyStats, p.Stats())
+		res.LeakedPending += p.PendingLen()
 	}
 	for _, p := range c.carpProxies {
 		res.ProxyStats = append(res.ProxyStats, p.Stats())

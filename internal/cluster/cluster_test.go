@@ -128,7 +128,7 @@ func TestRunDeterministicAcrossRepeats(t *testing.T) {
 }
 
 func TestSequentialAndAgentRuntimesAgree(t *testing.T) {
-	// DESIGN.md §9.5 / paper §V.1.2: the concurrent runtime must give
+	// DESIGN.md §10.5 / paper §V.1.2: the concurrent runtime must give
 	// bit-identical metrics to the sequential engine under closed-loop
 	// injection.
 	for _, algo := range []Algorithm{ADC, CARP} {

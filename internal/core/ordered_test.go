@@ -244,7 +244,7 @@ func TestBackendsAgree(t *testing.T) {
 	}
 }
 
-// TestOrderedPropertySortedAndBounded is invariant 1+2 of DESIGN.md §9 as a
+// TestOrderedPropertySortedAndBounded is invariant 1+2 of DESIGN.md §10 as a
 // quick.Check property over both backends.
 func TestOrderedPropertySortedAndBounded(t *testing.T) {
 	for _, backend := range []Backend{BackendBTree, BackendSlice, BackendSkipList, BackendList} {

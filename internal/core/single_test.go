@@ -169,7 +169,7 @@ func TestSingleTableModesAgree(t *testing.T) {
 	}
 }
 
-// TestSingleTableNeverExceedsCapacity is invariant 1 of DESIGN.md §9.
+// TestSingleTableNeverExceedsCapacity is invariant 1 of DESIGN.md §10.
 func TestSingleTableNeverExceedsCapacity(t *testing.T) {
 	prop := func(objs []uint8, capSeed uint8) bool {
 		capacity := int(capSeed%7) + 1

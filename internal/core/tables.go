@@ -356,6 +356,29 @@ func (t *Tables) admits(dst Ordered, e *Entry) bool {
 	return e.Key() < worst
 }
 
+// Invalidate forgets obj's mapping entry when it lives in the single- or
+// multiple-table, returning whether an entry was removed. It is the
+// demotion half of the recovery protocol's stale-location handling: a
+// learned location that stopped answering (crashed or partitioned peer) is
+// dropped so forwarding falls back to random selection and backwarding can
+// re-converge on a live resolver. Caching-table entries are untouched —
+// they represent objects stored locally, whose data is valid regardless of
+// what happened to a remote peer.
+func (t *Tables) Invalidate(obj ids.ObjectID) bool {
+	e, kind := t.locate(obj)
+	switch kind {
+	case KindSingle:
+		t.single.RemoveEntry(e)
+	case KindMultiple:
+		t.multiple.RemoveEntry(e)
+	default:
+		return false
+	}
+	t.dirDel(obj)
+	t.arena.put(e)
+	return true
+}
+
 // ForwardLocation resolves the forwarding address for obj from the mapping
 // tables (the paper's Forward_Addr, Fig. 6). ok is false when no table has
 // an entry, in which case the proxy falls back to random peer selection.

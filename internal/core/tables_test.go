@@ -263,7 +263,7 @@ func TestForwardLocation(t *testing.T) {
 	}
 }
 
-// TestObjectInAtMostOneTable is invariant 3 of DESIGN.md §9: after any
+// TestObjectInAtMostOneTable is invariant 3 of DESIGN.md §10: after any
 // sequence of updates an object lives in at most one table.
 func TestObjectInAtMostOneTable(t *testing.T) {
 	tbl := newTestTables(t, 5, 3, 2)

@@ -47,6 +47,13 @@ type Collector struct {
 	// when the run executes on the virtual-time engine.
 	response stats.Online
 
+	// Recovery-protocol counters (fault-injected runs only; all zero in
+	// the paper-faithful lossless mode).
+	retries      uint64
+	timeouts     uint64
+	abandoned    uint64
+	staleReplies uint64
+
 	started time.Time
 	elapsed time.Duration
 }
@@ -136,6 +143,33 @@ func (c *Collector) RecordResponse(vticks int64) {
 // ticks; empty unless the run used the virtual-time engine).
 func (c *Collector) Response() *stats.Online { return &c.response }
 
+// RecordTimeout accounts one request attempt whose reply did not arrive
+// within the recovery timeout (whether it is then retried or abandoned).
+func (c *Collector) RecordTimeout() { c.timeouts++ }
+
+// RecordRetry accounts one retransmission of a timed-out request.
+func (c *Collector) RecordRetry() { c.retries++ }
+
+// RecordAbandoned accounts one request given up on after exhausting its
+// retry budget — a permanently stranded chain from the client's view.
+func (c *Collector) RecordAbandoned() { c.abandoned++ }
+
+// RecordStaleReply accounts a reply that arrived for a request the client
+// no longer has outstanding (a duplicate from a retransmitted chain).
+func (c *Collector) RecordStaleReply() { c.staleReplies++ }
+
+// Timeouts returns the number of request-attempt timeouts.
+func (c *Collector) Timeouts() uint64 { return c.timeouts }
+
+// Retries returns the number of retransmissions.
+func (c *Collector) Retries() uint64 { return c.retries }
+
+// Abandoned returns the number of requests given up on.
+func (c *Collector) Abandoned() uint64 { return c.abandoned }
+
+// StaleReplies returns the number of duplicate/late replies discarded.
+func (c *Collector) StaleReplies() uint64 { return c.staleReplies }
+
 // Requests returns the number of completed requests.
 func (c *Collector) Requests() uint64 { return c.requests }
 
@@ -189,6 +223,11 @@ type Summary struct {
 	// ticks; zero unless the run used the virtual-time engine.
 	MeanResponse float64
 	MaxResponse  float64
+	// Recovery-protocol counters; all zero in lossless runs.
+	Timeouts     uint64
+	Retries      uint64
+	Abandoned    uint64
+	StaleReplies uint64
 }
 
 // Summary snapshots the collector.
@@ -202,5 +241,9 @@ func (c *Collector) Summary() Summary {
 		Elapsed:      c.elapsed,
 		MeanResponse: c.response.Mean(),
 		MaxResponse:  c.response.Max(),
+		Timeouts:     c.timeouts,
+		Retries:      c.retries,
+		Abandoned:    c.abandoned,
+		StaleReplies: c.staleReplies,
 	}
 }

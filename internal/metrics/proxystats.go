@@ -33,6 +33,21 @@ type ProxyStats struct {
 
 	// CacheEvictions counts demotions out of the caching table.
 	CacheEvictions uint64
+
+	// ExpiredPending counts loop-detection pending passes retired by the
+	// recovery TTL because their reply never came back (fault-injected
+	// runs with recovery enabled only).
+	ExpiredPending uint64
+
+	// StaleInvalidated counts mapping entries demoted because a forward
+	// to their learned location went unanswered past the pending TTL —
+	// the crash-aware fallback to random forwarding.
+	StaleInvalidated uint64
+
+	// UnexpectedReplies counts replies whose request ID had no live
+	// pending entry (expired, or a duplicate from a retransmitted
+	// chain); they are forwarded but never touch loop-detection state.
+	UnexpectedReplies uint64
 }
 
 // Add accumulates other into s, for cluster-wide totals.
@@ -46,6 +61,9 @@ func (s *ProxyStats) Add(other ProxyStats) {
 	s.RepliesSeen += other.RepliesSeen
 	s.CacheInsertions += other.CacheInsertions
 	s.CacheEvictions += other.CacheEvictions
+	s.ExpiredPending += other.ExpiredPending
+	s.StaleInvalidated += other.StaleInvalidated
+	s.UnexpectedReplies += other.UnexpectedReplies
 }
 
 // LocalHitRate returns LocalHits/Requests for this proxy.

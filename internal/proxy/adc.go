@@ -33,7 +33,41 @@ type Config struct {
 	// Seed derives the proxy's private random stream. Two proxies in
 	// one cluster receive different streams (the cluster XORs the ID in).
 	Seed int64
+	// Recovery enables pending-entry TTL expiry and stale-location
+	// invalidation (virtual-time engine only; the zero value keeps the
+	// paper-faithful protocol, where pending entries only retire via
+	// backwarding replies).
+	Recovery sim.Recovery
 }
+
+// pendingPass is the loop-detection state for one in-flight request ID:
+// how many forwarding passes await their backwarding reply, and — with
+// recovery enabled — when the entry expires and which learned location the
+// latest pass trusted (so an unanswered forward can demote it).
+type pendingPass struct {
+	count    int
+	expireAt int64
+	obj      ids.ObjectID
+	learned  ids.NodeID
+}
+
+// expiryRec is one scheduled pending-entry expiry check. Records enter the
+// queue in expireAt order (the virtual clock is monotonic and the TTL is
+// constant), so a plain FIFO suffices — no heap, no map iteration, fully
+// deterministic.
+type expiryRec struct {
+	id ids.RequestID
+	at int64
+}
+
+// sweepTimer is the proxy's private pending-expiry timer message. The
+// proxy keeps at most one armed sweep; the timer drives virtual time
+// forward past the last request, so even passes stranded at the very end
+// of a run expire and PendingLen drains to zero.
+type sweepTimer struct{ to ids.NodeID }
+
+// Dest implements msg.Message.
+func (t *sweepTimer) Dest() ids.NodeID { return t.to }
 
 // ADC is one Adaptive Distributed Caching proxy agent.
 type ADC struct {
@@ -51,12 +85,24 @@ type ADC struct {
 	// request arriving while pending is a loop (§III.1). Counts (not
 	// booleans) handle self-forwarding, where the same proxy legally
 	// appears twice on the path.
-	pending map[ids.RequestID]int
+	pending map[ids.RequestID]pendingPass
+
+	// recovery state: the FIFO of expiry checks (head-indexed so pops
+	// are O(1) without reallocating) and the single armed sweep timer.
+	recovery   sim.Recovery
+	tablesCfg  core.Config
+	expiryQ    []expiryRec
+	expiryHead int
+	sweep      *sweepTimer
+	sweepArmed bool
 
 	stats metrics.ProxyStats
 }
 
-var _ sim.Node = (*ADC)(nil)
+var (
+	_ sim.Node        = (*ADC)(nil)
+	_ sim.Restartable = (*ADC)(nil)
+)
 
 // New builds an ADC proxy.
 func New(cfg Config) (*ADC, error) {
@@ -66,6 +112,10 @@ func New(cfg Config) (*ADC, error) {
 	if len(cfg.Peers) == 0 {
 		return nil, fmt.Errorf("proxy: peer set must not be empty")
 	}
+	cfg.Recovery = cfg.Recovery.Normalize()
+	if err := cfg.Recovery.Validate(); err != nil {
+		return nil, fmt.Errorf("proxy %v: %w", cfg.ID, err)
+	}
 	tables, err := core.NewTables(cfg.Tables)
 	if err != nil {
 		return nil, fmt.Errorf("proxy %v: %w", cfg.ID, err)
@@ -73,11 +123,14 @@ func New(cfg Config) (*ADC, error) {
 	peers := make([]ids.NodeID, len(cfg.Peers))
 	copy(peers, cfg.Peers)
 	return &ADC{
-		id:      cfg.ID,
-		peers:   peers,
-		tables:  tables,
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x9E3779B9)),
-		pending: make(map[ids.RequestID]int),
+		id:        cfg.ID,
+		peers:     peers,
+		tables:    tables,
+		rng:       rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x9E3779B9)),
+		pending:   make(map[ids.RequestID]pendingPass),
+		recovery:  cfg.Recovery,
+		tablesCfg: cfg.Tables,
+		sweep:     &sweepTimer{to: cfg.ID},
 	}, nil
 }
 
@@ -108,8 +161,27 @@ func (p *ADC) Stats() metrics.ProxyStats { return p.stats }
 func (p *ADC) LocalTime() int64 { return p.localTime }
 
 // PendingLen returns the number of in-flight forwarded requests (tests
-// assert it drains to zero — invariant 4 of DESIGN.md §9).
+// assert it drains to zero — invariant 4 of DESIGN.md §10).
 func (p *ADC) PendingLen() int { return len(p.pending) }
+
+// Restart implements sim.Restartable: a fail-stop restart always loses the
+// volatile request state (pending passes and the armed sweep timer died
+// with the process; live chains elsewhere will surface as unexpected
+// replies), and a cold restart additionally rebuilds the mapping tables
+// empty. Counters and the random stream survive: they belong to the
+// experiment, not the process.
+func (p *ADC) Restart(loseTables bool) {
+	p.pending = make(map[ids.RequestID]pendingPass)
+	p.expiryQ = nil
+	p.expiryHead = 0
+	p.sweepArmed = false
+	if loseTables {
+		// The config was validated at construction, so this cannot fail.
+		if t, err := core.NewTables(p.tablesCfg); err == nil {
+			p.tables = t
+		}
+	}
+}
 
 // Handle implements sim.Node.
 func (p *ADC) Handle(ctx sim.Context, m msg.Message) {
@@ -118,6 +190,8 @@ func (p *ADC) Handle(ctx sim.Context, m msg.Message) {
 		p.receiveRequest(ctx, t)
 	case *msg.Reply:
 		p.receiveReply(ctx, t)
+	case *sweepTimer:
+		p.handleSweep(ctx)
 	}
 }
 
@@ -142,23 +216,39 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 
 	// Miss: loop detection looks at the state before this arrival, then
 	// Store_Backwarding registers the pass so the reply can retrace it.
-	looped := p.pending[req.ID] > 0
+	pass := p.pending[req.ID]
+	looped := pass.count > 0
 	atMax := req.AtMaxHops()
-	p.pending[req.ID]++
 	req.Path = append(req.Path, p.id)
 	req.Sender = p.id
 
+	to := ids.Origin
+	learned := ids.None
 	if looped || atMax {
 		if looped {
 			p.stats.LoopsDetected++
 		}
 		p.stats.ForwardOrigin++
-		req.To = ids.Origin
-		ctx.Send(req)
-		return
+	} else {
+		var viaTable bool
+		to, viaTable = p.forwardAddr(req.Object)
+		if viaTable && to != ids.Origin {
+			learned = to
+		}
 	}
 
-	req.To = p.forwardAddr(req.Object)
+	pass.count++
+	if p.recovery.Enabled {
+		pass.obj = req.Object
+		pass.learned = learned
+		if clk, ok := ctx.(sim.Clock); ok {
+			pass.expireAt = clk.VNow() + p.recovery.PendingTTL
+			p.pushExpiry(ctx, req.ID, pass.expireAt)
+		}
+	}
+	p.pending[req.ID] = pass
+
+	req.To = to
 	ctx.Send(req)
 }
 
@@ -166,23 +256,36 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 // location when one exists, otherwise pick a random peer (including
 // ourselves). A learned location equal to our own ID is a THIS entry whose
 // object is not cached here, which means this proxy is responsible and the
-// unresolved query goes to the origin server (§III.3.2).
-func (p *ADC) forwardAddr(obj ids.ObjectID) ids.NodeID {
+// unresolved query goes to the origin server (§III.3.2). viaTable reports
+// whether a mapping entry directed the forward, so the recovery layer
+// knows which pending passes trusted a learned location.
+func (p *ADC) forwardAddr(obj ids.ObjectID) (to ids.NodeID, viaTable bool) {
 	if loc, ok := p.tables.ForwardLocation(obj); ok {
 		if loc == p.id {
 			p.stats.ForwardOrigin++
-			return ids.Origin
+			return ids.Origin, true
 		}
 		p.stats.ForwardLearned++
-		return loc
+		return loc, true
 	}
 	p.stats.ForwardRandom++
-	return p.peers[p.rng.Intn(len(p.peers))]
+	return p.peers[p.rng.Intn(len(p.peers))], false
 }
 
 // receiveReply is the paper's Receive_Reply() (Fig. 7).
 func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	p.stats.RepliesSeen++
+
+	// Defensive: a reply whose pending pass is gone — expired by the
+	// recovery TTL, arriving at a restarted proxy, or a duplicate from a
+	// retransmitted chain — is counted and must never underflow or
+	// resurrect loop-detection state. It still carries real data, so the
+	// table update and the backwarding forward below proceed normally
+	// (routing needs only the reply's own path).
+	pass, live := p.pending[rep.ID]
+	if !live {
+		p.stats.UnexpectedReplies++
+	}
 
 	// Data straight from the origin server: the first proxy on the
 	// backwarding path claims the resolver slot.
@@ -204,15 +307,94 @@ func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	}
 
 	// Retire one stored backwarding pass.
-	if n := p.pending[rep.ID]; n > 1 {
-		p.pending[rep.ID] = n - 1
-	} else {
-		delete(p.pending, rep.ID)
+	if live {
+		if pass.count > 1 {
+			pass.count--
+			p.pending[rep.ID] = pass
+		} else {
+			delete(p.pending, rep.ID)
+		}
 	}
 
 	next, _ := rep.NextBackward()
 	rep.To = next
 	ctx.Send(rep)
+}
+
+// pushExpiry queues one expiry check and arms the sweep timer when none is
+// armed. Queue order equals expireAt order, so the armed timer always
+// covers the head record.
+func (p *ADC) pushExpiry(ctx sim.Context, id ids.RequestID, at int64) {
+	p.expiryQ = append(p.expiryQ, expiryRec{id: id, at: at})
+	if !p.sweepArmed {
+		if sched, ok := ctx.(sim.Scheduler); ok {
+			sched.After(p.recovery.PendingTTL, p.sweep)
+			p.sweepArmed = true
+		}
+	}
+}
+
+// handleSweep fires the armed expiry timer: retire everything due, then
+// re-arm for the next queued record (if any). The sweep chain keeps the
+// engine's event queue alive until all pending state has drained.
+func (p *ADC) handleSweep(ctx sim.Context) {
+	p.sweepArmed = false
+	clk, ok := ctx.(sim.Clock)
+	if !ok || !p.recovery.Enabled {
+		return
+	}
+	now := clk.VNow()
+	p.expirePending(now)
+	if p.expiryHead < len(p.expiryQ) {
+		if sched, isSched := ctx.(sim.Scheduler); isSched {
+			d := p.expiryQ[p.expiryHead].at - now
+			if d < 1 {
+				d = 1
+			}
+			sched.After(d, p.sweep)
+			p.sweepArmed = true
+		}
+	}
+}
+
+// expirePending retires every pending entry due at now. An entry whose
+// expireAt is newer than its queued record was refreshed by a later pass —
+// the later record is still queued and will judge it then. Expired entries
+// surrender all passes at once (the chain is dead; partial retirement
+// would leave the remainder leaking), and when the latest pass had trusted
+// a learned location that the tables still hold, that mapping is demoted:
+// the unanswered forward is evidence the location is stale (crashed or
+// unreachable), and dropping it falls forwarding back to random selection
+// so backwarding can re-converge on a live resolver.
+func (p *ADC) expirePending(now int64) {
+	for p.expiryHead < len(p.expiryQ) && p.expiryQ[p.expiryHead].at <= now {
+		rec := p.expiryQ[p.expiryHead]
+		p.popExpiry()
+		pass, ok := p.pending[rec.id]
+		if !ok || pass.expireAt > now {
+			continue
+		}
+		delete(p.pending, rec.id)
+		p.stats.ExpiredPending += uint64(pass.count)
+		if pass.learned != ids.None && pass.learned != p.id {
+			if loc, has := p.tables.ForwardLocation(pass.obj); has && loc == pass.learned {
+				if p.tables.Invalidate(pass.obj) {
+					p.stats.StaleInvalidated++
+				}
+			}
+		}
+	}
+}
+
+// popExpiry advances the queue head, compacting the backing slice once
+// half of it is dead so memory stays bounded without per-pop copying.
+func (p *ADC) popExpiry() {
+	p.expiryHead++
+	if p.expiryHead >= 64 && p.expiryHead*2 >= len(p.expiryQ) {
+		n := copy(p.expiryQ, p.expiryQ[p.expiryHead:])
+		p.expiryQ = p.expiryQ[:n]
+		p.expiryHead = 0
+	}
 }
 
 func (p *ADC) recordOutcome(out core.Outcome) {

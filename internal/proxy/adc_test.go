@@ -84,7 +84,7 @@ func TestNewValidation(t *testing.T) {
 }
 
 func TestEveryRequestResolves(t *testing.T) {
-	// Invariant 4 (DESIGN.md §9): every request terminates with exactly
+	// Invariant 4 (DESIGN.md §10): every request terminates with exactly
 	// one reply to the client and pending state drains.
 	eng, proxies := rig(t, 4)
 	s := &sink{id: ids.Client(0)}
@@ -96,6 +96,62 @@ func TestEveryRequestResolves(t *testing.T) {
 	}
 	if len(s.replies) != 200 {
 		t.Fatalf("replies = %d, want 200", len(s.replies))
+	}
+	for _, p := range proxies {
+		if p.PendingLen() != 0 {
+			t.Errorf("proxy %v has %d dangling pending entries", p.ID(), p.PendingLen())
+		}
+	}
+}
+
+func TestUnexpectedReplyIsCountedAndHarmless(t *testing.T) {
+	// Defensive reply handling: a reply with no live pending entry —
+	// expired by the recovery TTL, a duplicate from a retransmitted
+	// chain, or arriving at a restarted proxy — must be counted, must not
+	// resurrect or underflow loop-detection state, and still backwards
+	// normally (its routing needs only its own path).
+	eng, proxies := rig(t, 3)
+	s := &sink{id: ids.Client(0)}
+	if err := eng.Register(s); err != nil {
+		t.Fatal(err)
+	}
+
+	// A run of ordinary traffic so tables are warm and pending is empty.
+	for i := uint64(1); i <= 50; i++ {
+		send(t, eng, s, ids.NodeID(i%3), ids.ObjectID(i%7), i)
+	}
+	if n := proxies[0].Stats().UnexpectedReplies; n != 0 {
+		t.Fatalf("lossless traffic produced %d unexpected replies", n)
+	}
+
+	// An unsolicited reply: its RequestID was never pending anywhere.
+	eng.Send(&msg.Reply{
+		To:       0,
+		ID:       ids.NewRequestID(0, 9999),
+		Object:   3,
+		Client:   s.id,
+		Resolver: 1,
+		Cached:   true,
+	})
+	before := len(s.replies)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := proxies[0].Stats().UnexpectedReplies; got != 1 {
+		t.Errorf("UnexpectedReplies = %d, want 1", got)
+	}
+	if len(s.replies) != before+1 {
+		t.Errorf("unsolicited reply did not backward to the client (got %d new)", len(s.replies)-before)
+	}
+	for _, p := range proxies {
+		if p.PendingLen() != 0 {
+			t.Errorf("proxy %v resurrected pending state: %d entries", p.ID(), p.PendingLen())
+		}
+	}
+
+	// The system keeps working: more traffic resolves and drains cleanly.
+	for i := uint64(100); i < 150; i++ {
+		send(t, eng, s, ids.NodeID(i%3), ids.ObjectID(i%7), i)
 	}
 	for _, p := range proxies {
 		if p.PendingLen() != 0 {

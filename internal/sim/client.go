@@ -39,11 +39,30 @@ func (p EntryPolicy) String() string {
 	}
 }
 
+// retryTimer is a client's per-attempt timeout message: it carries the
+// request ID of the attempt it guards, so a timer that fires after the
+// reply arrived (or after a newer retransmission superseded the attempt)
+// identifies itself as stale and is ignored. Timers travel through
+// Scheduler.After and are never subject to fault-plan loss.
+type retryTimer struct {
+	to ids.NodeID
+	id ids.RequestID
+}
+
+// Dest implements msg.Message.
+func (t *retryTimer) Dest() ids.NodeID { return t.to }
+
 // Client is the closed-loop request driver: it keeps exactly one request
 // outstanding, records each completion, and injects the next request when
 // the reply arrives. Closed-loop injection is what makes concurrent and
 // distributed runs deliver bit-identical metrics to the sequential engine
 // (DESIGN.md §3).
+//
+// With Recovery enabled (virtual-time engine only) the client additionally
+// arms a timeout per attempt and retransmits timed-out requests under a
+// fresh request ID with exponential backoff, abandoning the request after
+// MaxRetries so the closed loop keeps moving even when a chain is
+// permanently stranded.
 type Client struct {
 	id        ids.NodeID
 	src       workload.Source
@@ -52,13 +71,26 @@ type Client struct {
 	rng       *rand.Rand
 	collector *metrics.Collector
 	maxHops   int
+	recovery  Recovery
 
 	counter uint64
 	rr      int
 	done    bool
 	// sentAt is the virtual send time of the outstanding request, used
-	// to measure response time on virtual-time engines.
+	// to measure response time on virtual-time engines. Retransmissions
+	// keep the first attempt's sentAt: response time is user-perceived.
 	sentAt int64
+
+	// injected counts logical requests (retransmissions count once).
+	injected uint64
+	// curID is the outstanding attempt's request ID (0 = none); replies
+	// and timers for any other ID are stale. curObj and retries describe
+	// the logical request the attempt belongs to, curTimeout the
+	// attempt's backoff-scaled timeout.
+	curID      ids.RequestID
+	curObj     ids.ObjectID
+	retries    int
+	curTimeout int64
 
 	// onDone, when set, fires once after the last reply is recorded;
 	// concurrent runtimes use it to know when to shut down.
@@ -88,6 +120,9 @@ type ClientConfig struct {
 	MaxHops int
 	// OnDone fires after the final reply (optional).
 	OnDone func()
+	// Recovery enables timeouts and retransmission (virtual-time engine
+	// only; the zero value keeps the paper-faithful lossless protocol).
+	Recovery Recovery
 }
 
 // NewClient builds a client driver.
@@ -101,6 +136,10 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Collector == nil {
 		cfg.Collector = metrics.NewCollector(metrics.WithSampleEvery(0))
 	}
+	cfg.Recovery = cfg.Recovery.Normalize()
+	if err := cfg.Recovery.Validate(); err != nil {
+		return nil, err
+	}
 	return &Client{
 		id:        ids.Client(cfg.Index),
 		src:       cfg.Source,
@@ -109,6 +148,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
 		collector: cfg.Collector,
 		maxHops:   cfg.MaxHops,
+		recovery:  cfg.Recovery,
 		onDone:    cfg.OnDone,
 	}, nil
 }
@@ -137,24 +177,64 @@ func (c *Client) Collector() *metrics.Collector { return c.collector }
 // Done reports whether the trace is exhausted and the last reply recorded.
 func (c *Client) Done() bool { return c.done }
 
+// Injected returns the number of logical requests injected so far;
+// retransmissions of a timed-out request count once.
+func (c *Client) Injected() uint64 { return c.injected }
+
 // Start implements Starter: it injects the first request.
 func (c *Client) Start(ctx Context) {
 	c.sendNext(ctx)
 }
 
-// Handle implements Node: every delivered message must be the reply to the
-// single outstanding request.
+// Handle implements Node: replies complete the outstanding request, retry
+// timers (recovery mode only) retransmit or abandon it.
 func (c *Client) Handle(ctx Context, m msg.Message) {
-	rep, ok := m.(*msg.Reply)
-	if !ok {
-		return // clients never receive requests
+	switch t := m.(type) {
+	case *msg.Reply:
+		c.handleReply(ctx, t)
+	case *retryTimer:
+		c.handleTimeout(ctx, t)
 	}
+}
+
+func (c *Client) handleReply(ctx Context, rep *msg.Reply) {
+	if c.recovery.Enabled && rep.ID != c.curID {
+		// A duplicate from a retransmitted chain (the original and the
+		// retry both completed), or a reply racing its own abandonment:
+		// already recorded once, so only recycle it.
+		c.collector.RecordStaleReply()
+		Finish(ctx, rep)
+		return
+	}
+	c.curID = 0 // answered: any further reply or timer for it is stale
 	c.collector.Record(!rep.FromOrigin, rep.Hops, rep.PathLen)
 	if clk, ok := ctx.(Clock); ok {
 		c.collector.RecordResponse(clk.VNow() - c.sentAt)
 	}
 	Finish(ctx, rep) // terminal delivery: the reply recycles
 	c.sendNext(ctx)
+}
+
+// handleTimeout fires when an attempt's timer expires: stale timers are
+// ignored, live ones retransmit under a fresh request ID (so in-flight
+// loop-detection state from the dead attempt can never confuse the new
+// chain) or abandon the request once the retry budget is spent.
+func (c *Client) handleTimeout(ctx Context, t *retryTimer) {
+	if !c.recovery.Enabled || t.id != c.curID || c.curID == 0 {
+		return
+	}
+	c.collector.RecordTimeout()
+	if c.retries >= c.recovery.MaxRetries {
+		// Permanently stranded: give up so the closed loop keeps moving.
+		c.collector.RecordAbandoned()
+		c.curID = 0
+		c.sendNext(ctx)
+		return
+	}
+	c.retries++
+	c.collector.RecordRetry()
+	c.curTimeout = int64(float64(c.curTimeout) * c.recovery.Backoff)
+	c.send(ctx)
 }
 
 func (c *Client) sendNext(ctx Context) {
@@ -168,18 +248,34 @@ func (c *Client) sendNext(ctx Context) {
 		}
 		return
 	}
-	c.counter++
+	c.injected++
+	c.curObj = obj
+	c.retries = 0
+	c.curTimeout = c.recovery.Timeout
 	if clk, ok := ctx.(Clock); ok {
 		c.sentAt = clk.VNow()
 	}
+	c.send(ctx)
+}
+
+// send issues one attempt (first or retransmission) for the current
+// logical request and arms its timeout.
+func (c *Client) send(ctx Context) {
+	c.counter++
+	c.curID = ids.NewRequestID(c.id.ClientIndex(), c.counter)
 	req := NewRequest(ctx)
 	req.To = c.pickEntry()
-	req.ID = ids.NewRequestID(c.id.ClientIndex(), c.counter)
-	req.Object = obj
+	req.ID = c.curID
+	req.Object = c.curObj
 	req.Client = c.id
 	req.Sender = c.id
 	req.MaxHops = c.maxHops
 	ctx.Send(req)
+	if c.recovery.Enabled {
+		if sched, ok := ctx.(Scheduler); ok {
+			sched.After(c.curTimeout, &retryTimer{to: c.id, id: c.curID})
+		}
+	}
 }
 
 func (c *Client) pickEntry() ids.NodeID {

@@ -34,6 +34,7 @@ type OpenLoopClient struct {
 	rng       *rand.Rand
 	collector *metrics.Collector
 	maxHops   int
+	recovery  Recovery
 
 	// interval is the mean inter-arrival time in virtual ticks; poisson
 	// selects exponential instead of fixed spacing.
@@ -44,10 +45,22 @@ type OpenLoopClient struct {
 	rr          int
 	injected    int
 	timer       *tick
-	outstanding map[ids.RequestID]int64 // request → virtual send time
+	outstanding map[ids.RequestID]openReq
 	exhausted   bool
 	done        bool
 	onDone      func()
+}
+
+// openReq is the book-keeping for one in-flight open-loop request.
+type openReq struct {
+	// sentAt is the first attempt's virtual send time; retransmissions
+	// keep it so response time stays user-perceived.
+	sentAt int64
+	// obj, retries and timeout track the recovery protocol's
+	// retransmission state (unused when recovery is disabled).
+	obj     ids.ObjectID
+	retries int
+	timeout int64
 }
 
 var (
@@ -72,6 +85,9 @@ type OpenLoopConfig struct {
 	IntervalTicks int64
 	// Poisson draws exponential inter-arrival times instead of fixed.
 	Poisson bool
+	// Recovery enables timeouts and retransmission (the zero value keeps
+	// the paper-faithful lossless protocol).
+	Recovery Recovery
 }
 
 // NewOpenLoopClient builds an open-loop driver.
@@ -88,6 +104,10 @@ func NewOpenLoopClient(cfg OpenLoopConfig) (*OpenLoopClient, error) {
 	if cfg.Collector == nil {
 		cfg.Collector = metrics.NewCollector(metrics.WithSampleEvery(0))
 	}
+	cfg.Recovery = cfg.Recovery.Normalize()
+	if err := cfg.Recovery.Validate(); err != nil {
+		return nil, err
+	}
 	return &OpenLoopClient{
 		id:          ids.Client(cfg.Index),
 		src:         cfg.Source,
@@ -96,10 +116,11 @@ func NewOpenLoopClient(cfg OpenLoopConfig) (*OpenLoopClient, error) {
 		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x0BADCAFE)),
 		collector:   cfg.Collector,
 		maxHops:     cfg.MaxHops,
+		recovery:    cfg.Recovery,
 		interval:    cfg.IntervalTicks,
 		poisson:     cfg.Poisson,
 		timer:       &tick{to: ids.Client(cfg.Index)},
-		outstanding: make(map[ids.RequestID]int64),
+		outstanding: make(map[ids.RequestID]openReq),
 		onDone:      cfg.OnDone,
 	}, nil
 }
@@ -119,6 +140,10 @@ func (c *OpenLoopClient) SetOnDone(fn func()) { c.onDone = fn }
 // Outstanding returns the number of in-flight requests (test support).
 func (c *OpenLoopClient) Outstanding() int { return len(c.outstanding) }
 
+// Injected returns the number of logical requests injected so far;
+// retransmissions of a timed-out request count once.
+func (c *OpenLoopClient) Injected() uint64 { return uint64(c.injected) }
+
 // Start implements Starter. The context must support virtual-time
 // scheduling; the cluster layer guarantees it by only pairing this client
 // with the virtual-time engine.
@@ -130,13 +155,16 @@ func (c *OpenLoopClient) Start(ctx Context) {
 	sched.After(0, c.timer)
 }
 
-// Handle implements Node: ticks inject, replies complete.
+// Handle implements Node: ticks inject, replies complete, retry timers
+// (recovery mode only) retransmit or abandon.
 func (c *OpenLoopClient) Handle(ctx Context, m msg.Message) {
 	switch t := m.(type) {
 	case *tick:
 		c.inject(ctx)
 	case *msg.Reply:
 		c.complete(ctx, t)
+	case *retryTimer:
+		c.handleTimeout(ctx, t)
 	}
 }
 
@@ -150,7 +178,7 @@ func (c *OpenLoopClient) inject(ctx Context) {
 	clk := ctx.(Clock) // Start already proved the engine supports it
 	c.counter++
 	id := ids.NewRequestID(c.id.ClientIndex(), c.counter)
-	c.outstanding[id] = clk.VNow()
+	c.outstanding[id] = openReq{sentAt: clk.VNow(), obj: obj, timeout: c.recovery.Timeout}
 	c.injected++
 	req := NewRequest(ctx)
 	req.To = c.pickEntry()
@@ -160,19 +188,68 @@ func (c *OpenLoopClient) inject(ctx Context) {
 	req.Sender = c.id
 	req.MaxHops = c.maxHops
 	ctx.Send(req)
+	if c.recovery.Enabled {
+		ctx.(Scheduler).After(c.recovery.Timeout, &retryTimer{to: c.id, id: id})
+	}
 	ctx.(Scheduler).After(c.nextGap(), c.timer)
 }
 
 func (c *OpenLoopClient) complete(ctx Context, rep *msg.Reply) {
+	if c.recovery.Enabled {
+		if _, ok := c.outstanding[rep.ID]; !ok {
+			// Duplicate from a retransmitted chain, or a reply racing
+			// its own timeout: the request was already completed or
+			// superseded, so only recycle.
+			c.collector.RecordStaleReply()
+			Finish(ctx, rep)
+			return
+		}
+	}
 	c.collector.Record(!rep.FromOrigin, rep.Hops, rep.PathLen)
-	if sentAt, ok := c.outstanding[rep.ID]; ok {
+	if r, ok := c.outstanding[rep.ID]; ok {
 		if clk, isClock := ctx.(Clock); isClock {
-			c.collector.RecordResponse(clk.VNow() - sentAt)
+			c.collector.RecordResponse(clk.VNow() - r.sentAt)
 		}
 		delete(c.outstanding, rep.ID)
 	}
 	Finish(ctx, rep) // terminal delivery: the reply recycles
 	c.maybeFinish()
+}
+
+// handleTimeout retransmits a timed-out request under a fresh ID with
+// exponential backoff, or abandons it once the retry budget is spent. A
+// timer whose ID is no longer outstanding is stale (the reply won) and is
+// ignored.
+func (c *OpenLoopClient) handleTimeout(ctx Context, t *retryTimer) {
+	if !c.recovery.Enabled {
+		return
+	}
+	r, ok := c.outstanding[t.id]
+	if !ok {
+		return // answered or superseded
+	}
+	c.collector.RecordTimeout()
+	delete(c.outstanding, t.id)
+	if r.retries >= c.recovery.MaxRetries {
+		c.collector.RecordAbandoned()
+		c.maybeFinish()
+		return
+	}
+	c.collector.RecordRetry()
+	c.counter++
+	id := ids.NewRequestID(c.id.ClientIndex(), c.counter)
+	r.retries++
+	r.timeout = int64(float64(r.timeout) * c.recovery.Backoff)
+	c.outstanding[id] = r
+	req := NewRequest(ctx)
+	req.To = c.pickEntry()
+	req.ID = id
+	req.Object = r.obj
+	req.Client = c.id
+	req.Sender = c.id
+	req.MaxHops = c.maxHops
+	ctx.Send(req)
+	ctx.(Scheduler).After(r.timeout, &retryTimer{to: c.id, id: id})
 }
 
 func (c *OpenLoopClient) maybeFinish() {

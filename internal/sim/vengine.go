@@ -93,6 +93,12 @@ type VEngine struct {
 	// Recycler).
 	drop func(m msg.Message) bool
 
+	// faults, when set, is the installed FaultPlan's live state: seeded
+	// loss/jitter applied at Send, fail-stop crash tracking applied at
+	// delivery. nil keeps every code path byte-identical to a plan-free
+	// engine.
+	faults *faultState
+
 	delivered uint64
 	dropped   uint64
 }
@@ -104,8 +110,33 @@ type VEngine struct {
 // injection tests demonstrate.
 func (e *VEngine) SetDropFilter(fn func(m msg.Message) bool) { e.drop = fn }
 
-// Dropped returns the number of discarded messages.
+// Dropped returns the number of discarded messages — drop-filter hits,
+// fault-plan losses, and deliveries addressed to crashed nodes. In a run
+// without retransmission every dropped transfer is an undelivered in-flight
+// message whose request chain is stranded.
 func (e *VEngine) Dropped() uint64 { return e.dropped }
+
+// SetFaultPlan installs a deterministic failure model (loss, jitter,
+// fail-stop crashes). Must be called before Run; a nil plan is a no-op.
+func (e *VEngine) SetFaultPlan(p *FaultPlan) error {
+	if p == nil {
+		e.faults = nil
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	e.faults = newFaultState(p)
+	return nil
+}
+
+// FaultStats returns the installed plan's counters (zero without a plan).
+func (e *VEngine) FaultStats() FaultStats {
+	if e.faults == nil {
+		return FaultStats{}
+	}
+	return e.faults.stats
+}
 
 // NewVEngine returns an empty virtual-time engine.
 func NewVEngine(latency LatencyModel) *VEngine {
@@ -141,7 +172,17 @@ func (e *VEngine) Send(m msg.Message) {
 		e.dropped++
 		return
 	}
-	e.schedule(e.latency.cost(e.current, m.Dest()), m)
+	delay := e.latency.cost(e.current, m.Dest())
+	if e.faults != nil {
+		var ok bool
+		if delay, ok = e.faults.transfer(e.current, m.Dest(), delay); !ok {
+			// Lost on the wire. Like drop-filter hits, lost messages
+			// are never recycled: the sender may still hold them.
+			e.dropped++
+			return
+		}
+	}
+	e.schedule(delay, m)
 }
 
 // After implements Scheduler.
@@ -175,6 +216,17 @@ func (e *VEngine) Delivered() uint64 { return e.delivered }
 // Run starts the Starter nodes in ascending NodeID order and processes
 // events until the queue drains, advancing virtual time monotonically.
 func (e *VEngine) Run() error {
+	if e.faults != nil {
+		// Crash/restart transitions enter the queue before any starter
+		// event, so at equal timestamps a fault applies before the
+		// messages scheduled later — a deterministic tie-break.
+		for _, c := range e.faults.plan.Crashes {
+			e.schedule(c.At, &faultCtl{node: c.Node})
+			if c.RestartAt > 0 {
+				e.schedule(c.RestartAt, &faultCtl{node: c.Node, restart: true, loseTables: c.LoseTables})
+			}
+		}
+	}
 	e.nodes.Ascending(func(id ids.NodeID, n Node) {
 		if s, ok := n.(Starter); ok {
 			e.current = id
@@ -185,6 +237,20 @@ func (e *VEngine) Run() error {
 	for len(e.pq.ev) > 0 {
 		ev := e.pq.pop()
 		e.now = ev.at
+		if e.faults != nil {
+			if ctl, ok := ev.m.(*faultCtl); ok {
+				e.applyFaultCtl(ctl)
+				continue
+			}
+			if e.faults.down[ev.m.Dest()] {
+				// Fail-stop: a crashed node receives nothing. The
+				// message dies at delivery (it left the sender long
+				// ago) and is never recycled.
+				e.dropped++
+				e.faults.stats.CrashDrops++
+				continue
+			}
+		}
 		n, ok := e.nodes.Get(ev.m.Dest())
 		if !ok {
 			return fmt.Errorf("sim: message for unregistered node %v", ev.m.Dest())
@@ -195,6 +261,27 @@ func (e *VEngine) Run() error {
 		e.current = ids.None
 	}
 	return nil
+}
+
+// applyFaultCtl executes one crash or restart transition.
+func (e *VEngine) applyFaultCtl(ctl *faultCtl) {
+	if !ctl.restart {
+		if !e.faults.down[ctl.node] {
+			e.faults.down[ctl.node] = true
+			e.faults.stats.Crashes++
+		}
+		return
+	}
+	if !e.faults.down[ctl.node] {
+		return // restart without a preceding crash: ignore
+	}
+	delete(e.faults.down, ctl.node)
+	e.faults.stats.Restarts++
+	if n, ok := e.nodes.Get(ctl.node); ok {
+		if r, isR := n.(Restartable); isR {
+			r.Restart(ctl.loseTables)
+		}
+	}
 }
 
 type event struct {
