@@ -9,10 +9,12 @@ ENGINE_BENCH = BenchmarkVEngine|BenchmarkEngineADC|BenchmarkClusterRun
 
 # Mapping-table benchmarks tracked in BENCH_tables.json (DESIGN.md "Table
 # internals"): Update/Lookup mixes at the paper's reference sizes, plus the
-# end-to-end engine benchmark the table overhaul moves.
-TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup
+# end-to-end engine benchmark the table overhaul moves. BenchmarkVEngineADC
+# rides along as the disabled-tracer overhead guard (DESIGN.md §12): CI
+# re-runs it and asserts ≤3% drift against the recorded number.
+TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup|BenchmarkVEngineADC$$
 
-.PHONY: all build test race vet faults bench bench-tables bench-compare bench-sweep bench-profile figures clean
+.PHONY: all build test race vet faults bench bench-tables bench-compare bench-sweep bench-profile trace-smoke figures clean
 
 all: build test
 
@@ -50,7 +52,7 @@ bench: bench-tables
 # baseline (BENCH_tables_baseline.json).
 bench-tables:
 	{ $(GO) version; \
-	  $(GO) test -bench '$(TABLES_BENCH)' -run '^$$' ./internal/core/; } \
+	  $(GO) test -bench '$(TABLES_BENCH)' -run '^$$' ./internal/core/ ./internal/sim/; } \
 	| $(GO) run ./cmd/benchjson -baseline BENCH_tables_baseline.json > BENCH_tables.json
 	@cat BENCH_tables.json
 
@@ -73,9 +75,18 @@ bench-profile:
 		-cpuprofile cpu.out -memprofile mem.out ./internal/sim/
 	@echo "wrote cpu.out and mem.out"
 
+# Observability smoke: a small traced run on the virtual-time engine, the
+# JSONL validated against the event schema, then summarized. CI uploads
+# trace-smoke.jsonl as a workflow artifact.
+trace-smoke:
+	$(GO) run ./cmd/adcsim -runtime vtime -requests 20000 -quiet \
+		-trace -trace-out trace-smoke.jsonl
+	$(GO) run ./cmd/adctrace validate trace-smoke.jsonl
+	$(GO) run ./cmd/adctrace summary trace-smoke.jsonl
+
 figures:
 	$(GO) run ./cmd/adcfigures
 
 clean:
 	$(GO) clean ./...
-	rm -rf figures/*.csv cpu.out mem.out sim.test
+	rm -rf figures/*.csv cpu.out mem.out sim.test trace-smoke.jsonl

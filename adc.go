@@ -210,6 +210,16 @@ type Config struct {
 	// RuntimeVirtualTime). nil disables it; zero fields of a non-nil
 	// Recovery take the reference defaults.
 	Recovery *Recovery
+
+	// Tracer records per-hop request-path events during the run
+	// (requires the sequential or virtual-time runtime). nil disables
+	// tracing at zero cost. See NewTracer.
+	Tracer *Tracer
+
+	// MetricsEvery collects windowed time-series metrics into
+	// Result.Buckets every this many virtual ticks (requires
+	// RuntimeVirtualTime; 0 disables).
+	MetricsEvery int64
 }
 
 // FaultPlan is a deterministic failure schedule. All randomness derives
@@ -409,6 +419,8 @@ func (c Config) toInternal() (cluster.Config, error) {
 		JoinProxyAt:      c.JoinProxyAt,
 		Faults:           faults,
 		Recovery:         recovery,
+		Tracer:           c.Tracer,
+		MetricsEvery:     c.MetricsEvery,
 	}, nil
 }
 
@@ -489,6 +501,10 @@ type Result struct {
 	// Crashes and Restarts count applied fail-stop transitions.
 	Crashes  uint64
 	Restarts uint64
+
+	// Buckets holds windowed time-series metrics when Config.MetricsEvery
+	// was set.
+	Buckets []TimeBucket
 }
 
 // Run builds a cluster for cfg and replays src against it.
@@ -541,5 +557,6 @@ func convertResult(res *cluster.Result) *Result {
 	for _, s := range res.ProxyStats {
 		out.ProxyStats = append(out.ProxyStats, ProxyStats(s))
 	}
+	out.Buckets = convertBuckets(res.Buckets)
 	return out
 }

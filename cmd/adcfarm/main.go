@@ -8,6 +8,11 @@
 //
 // Optionally warm the farm first with a synthetic workload (-warm) so the
 // caches and mapping tables start converged.
+//
+// Every proxy also serves live introspection under /debug: /debug/vars
+// (JSON counters and table occupancy), /debug/tables (mapping-table dump)
+// and /debug/pprof/ (Go profiler). With -trace, a request-path trace is
+// recorded and written as JSON Lines on shutdown for adctrace.
 package main
 
 import (
@@ -38,6 +43,8 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "random seed")
 		warm     = fs.Int("warm", 0, "warm up with this many synthetic requests before serving")
 		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent warm-up clients (1 = deterministic single client)")
+		traceOn  = fs.Bool("trace", false, "record a request-path trace, written on shutdown")
+		traceOut = fs.String("trace-out", "farm-trace.jsonl", "trace output file (JSON Lines; with -trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +61,12 @@ func run(args []string) error {
 		return err
 	}
 	defer farm.Close() //nolint:errcheck // teardown on exit
+
+	var tracer *adc.Tracer
+	if *traceOn {
+		tracer = adc.NewTracer()
+		farm.SetTracer(tracer)
+	}
 
 	if *warm > 0 {
 		gen, err := adc.NewWorkload(adc.WorkloadConfig{
@@ -78,7 +91,8 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("proxy %d: %s\n", i, url)
+		fmt.Printf("proxy %d: %s  (introspection: %s/debug/vars, %s/debug/tables, %s/debug/pprof/)\n",
+			i, url, url, url, url)
 	}
 	fmt.Println("\nfetch objects with:")
 	url, _ := farm.ProxyURL(0)
@@ -89,5 +103,19 @@ func run(args []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("\nshutting down")
+	if tracer != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		if err := adc.WriteTrace(f, tracer); err != nil {
+			f.Close() //nolint:errcheck,gosec // write error takes precedence
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d trace events to %s\n", tracer.Len(), *traceOut)
+	}
 	return nil
 }

@@ -7,7 +7,8 @@
 //	adcsim -algo carp -requests 1000000
 //	adcsim -proxies 8 -single 5000 -multiple 5000 -caching 2000
 //	adcsim -runtime tcp                 # every hop over loopback TCP
-//	adcsim -trace trace.bin             # replay a saved trace
+//	adcsim -replay trace.bin            # replay a saved workload trace
+//	adcsim -trace -trace-out t.jsonl    # record a request-path trace
 //	adcsim -config experiment.json      # run a JSON-described experiment
 //	adcsim -write-config exp.json       # write the default experiment file
 package main
@@ -15,10 +16,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"text/tabwriter"
 
 	"github.com/adc-sim/adc"
+	"github.com/adc-sim/adc/internal/clilog"
 	"github.com/adc-sim/adc/internal/cluster"
 	"github.com/adc-sim/adc/internal/config"
 	"github.com/adc-sim/adc/internal/core"
@@ -36,32 +39,38 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("adcsim", flag.ContinueOnError)
 	var (
-		algo       = fs.String("algo", "adc", "algorithm: adc, carp or chash")
-		proxies    = fs.Int("proxies", 5, "number of proxy agents")
-		single     = fs.Int("single", 2000, "single-table size (entries)")
-		multiple   = fs.Int("multiple", 2000, "multiple-table size (entries)")
-		caching    = fs.Int("caching", 1000, "caching-table / LRU cache size (entries)")
-		maxHops    = fs.Int("maxhops", 0, "forwarding bound (0 = unbounded)")
-		seed       = fs.Int64("seed", 1, "random seed")
-		runtime    = fs.String("runtime", "sequential", "runtime: sequential, agents, tcp or vtime")
-		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
-		entry      = fs.String("entry", "random", "entry policy: random, round-robin or fixed")
-		requests   = fs.Int("requests", 400_000, "synthetic workload length")
-		population = fs.Int("population", 1000, "hot object population of the request phases")
-		tracePath  = fs.String("trace", "", "replay a binary trace instead of generating")
-		verbose    = fs.Bool("v", false, "print per-proxy statistics")
-		configPath = fs.String("config", "", "run a JSON experiment file instead of flags")
-		writeCfg   = fs.String("write-config", "", "write the default experiment file and exit")
-		dump       = fs.Int("dump", -1, "after an ADC run, dump the top rows of this proxy's tables (paper Figs. 1–3)")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
-		faultSpec  = fs.String("faults", "", "fault plan, e.g. 'loss=0.01,jitter=2000,crash=0@2000000-4000000!' (requires -runtime vtime)")
+		algo         = fs.String("algo", "adc", "algorithm: adc, carp or chash")
+		proxies      = fs.Int("proxies", 5, "number of proxy agents")
+		single       = fs.Int("single", 2000, "single-table size (entries)")
+		multiple     = fs.Int("multiple", 2000, "multiple-table size (entries)")
+		caching      = fs.Int("caching", 1000, "caching-table / LRU cache size (entries)")
+		maxHops      = fs.Int("maxhops", 0, "forwarding bound (0 = unbounded)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		runtime      = fs.String("runtime", "sequential", "runtime: sequential, agents, tcp or vtime")
+		backend      = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
+		entry        = fs.String("entry", "random", "entry policy: random, round-robin or fixed")
+		requests     = fs.Int("requests", 400_000, "synthetic workload length")
+		population   = fs.Int("population", 1000, "hot object population of the request phases")
+		replayPath   = fs.String("replay", "", "replay a binary workload trace instead of generating")
+		traceOn      = fs.Bool("trace", false, "record a request-path trace (requires -runtime sequential or vtime)")
+		traceOut     = fs.String("trace-out", "trace.jsonl", "request-path trace output file (JSON Lines; with -trace)")
+		metricsEvery = fs.Int64("metrics-every", 0, "collect windowed time-series metrics every this many virtual ticks (requires -runtime vtime)")
+		metricsOut   = fs.String("metrics-out", "", "write the time series as CSV here (default: stdout)")
+		verbose      = fs.Bool("v", false, "verbose: per-proxy statistics and debug logging")
+		quiet        = fs.Bool("quiet", false, "suppress the run summary and notices (machine outputs only)")
+		configPath   = fs.String("config", "", "run a JSON experiment file instead of flags")
+		writeCfg     = fs.String("write-config", "", "write the default experiment file and exit")
+		dump         = fs.Int("dump", -1, "after an ADC run, dump the top rows of this proxy's tables (paper Figs. 1–3)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile to this file")
+		faultSpec    = fs.String("faults", "", "fault plan, e.g. 'loss=0.01,jitter=2000,crash=0@2000000-4000000!' (requires -runtime vtime)")
 	)
 	var recoverySpec optionalString
 	fs.Var(&recoverySpec, "recovery", "enable the recovery protocol; optionally 'timeout=400000,retries=8,backoff=2,ttl=1000000' (requires -runtime vtime)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log := clilog.FromFlags(*verbose, *quiet)
 
 	if *writeCfg != "" {
 		if err := config.Default().Save(*writeCfg); err != nil {
@@ -94,8 +103,8 @@ func run(args []string) error {
 	}
 
 	var src adc.Source
-	if *tracePath != "" {
-		loaded, err := adc.LoadTraceFile(*tracePath)
+	if *replayPath != "" {
+		loaded, err := adc.LoadTraceFile(*replayPath)
 		if err != nil {
 			return err
 		}
@@ -123,6 +132,12 @@ func run(args []string) error {
 		Entry:         adc.EntryPolicy(*entry),
 		Runtime:       adc.Runtime(*runtime),
 		Backend:       adc.TableBackend(*backend),
+		MetricsEvery:  *metricsEvery,
+	}
+	var tracer *adc.Tracer
+	if *traceOn {
+		tracer = adc.NewTracer()
+		cfg.Tracer = tracer
 	}
 	if *faultSpec != "" {
 		if *runtime != "vtime" {
@@ -151,6 +166,20 @@ func run(args []string) error {
 	if err := stopProfiles(); err != nil {
 		return err
 	}
+	if tracer != nil {
+		if err := writeTraceFile(*traceOut, tracer); err != nil {
+			return err
+		}
+		log.Infof("wrote %d trace events to %s", tracer.Len(), *traceOut)
+	}
+	if *metricsEvery > 0 {
+		if err := writeBuckets(*metricsOut, res.Buckets, log); err != nil {
+			return err
+		}
+	}
+	if *quiet {
+		return nil
+	}
 
 	fmt.Printf("algorithm      %s (%d proxies, runtime %s)\n", *algo, *proxies, *runtime)
 	fmt.Printf("tables         single=%d multiple=%d caching=%d\n", *single, *multiple, *caching)
@@ -171,6 +200,48 @@ func run(args []string) error {
 		if err := printProxyStats(res.ProxyStats); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// writeTraceFile exports a recorded trace as JSON Lines.
+func writeTraceFile(path string, t *adc.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := adc.WriteTrace(f, t); err != nil {
+		f.Close() //nolint:errcheck,gosec // write error takes precedence
+		return err
+	}
+	return f.Close()
+}
+
+// writeBuckets emits the time-series buckets as CSV — to a file when path
+// is set, else to stdout (the report channel; combine with -quiet to pipe
+// it cleanly).
+func writeBuckets(path string, buckets []adc.TimeBucket, log *clilog.Logger) error {
+	var w io.Writer = os.Stdout
+	if path != "" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // close error checked below
+		w = f
+	}
+	fmt.Fprintln(w, "start,end,injected,completed,hits,hit_rate,mean_hops,mean_gap,timeouts,retries,abandoned,drops")
+	for _, b := range buckets {
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d,%.6f,%.4f,%.1f,%d,%d,%d,%d\n",
+			b.Start, b.End, b.Injected, b.Completed, b.Hits,
+			b.HitRate, b.MeanHops, b.MeanGap,
+			b.Timeouts, b.Retries, b.Abandoned, b.Drops)
+	}
+	if f, ok := w.(*os.File); ok && f != os.Stdout {
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Infof("wrote %d time-series buckets to %s", len(buckets), path)
 	}
 	return nil
 }

@@ -10,6 +10,10 @@
 //	adcsweep -scale 1 -metric hits   # full paper scale
 //	adcsweep -csv out.csv            # machine-readable output
 //	adcsweep -metric resilience      # hit rate & completion vs message loss
+//	adcsweep -metric convergence     # location-convergence time vs cache size
+//
+// Reports go to stdout; progress and notices go to stderr (so piped CSV
+// stays clean). -quiet silences stderr entirely; -v adds debug detail.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"github.com/adc-sim/adc"
+	"github.com/adc-sim/adc/internal/clilog"
 	"github.com/adc-sim/adc/internal/profiling"
 )
 
@@ -39,7 +44,7 @@ func run(args []string) error {
 		scale      = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		proxies    = fs.Int("proxies", 5, "number of proxies")
-		metric     = fs.String("metric", "hits", "metric: hits, hops, time or resilience")
+		metric     = fs.String("metric", "hits", "metric: hits, hops, time, resilience or convergence")
 		losses     = fs.String("losses", "", "resilience loss rates, comma-separated (default 0,0.005,0.01,0.02,0.05)")
 		recovery   = fs.String("recovery", "", "resilience recovery parameters, e.g. 'timeout=400000,retries=8' (empty = defaults)")
 		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
@@ -47,14 +52,17 @@ func run(args []string) error {
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
+		verbose    = fs.Bool("v", false, "verbose stderr logging")
+		quiet      = fs.Bool("quiet", false, "silence stderr progress and notices")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	log := clilog.FromFlags(*verbose, *quiet)
 	switch *metric {
-	case "hits", "hops", "time", "resilience":
+	case "hits", "hops", "time", "resilience", "convergence":
 	default:
-		return fmt.Errorf("unknown metric %q (want hits, hops, time or resilience)", *metric)
+		return fmt.Errorf("unknown metric %q (want hits, hops, time, resilience or convergence)", *metric)
 	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
@@ -65,10 +73,16 @@ func run(args []string) error {
 		Scale: *scale, Seed: *seed, Proxies: *proxies, Parallel: *parallel,
 		Backend: adc.TableBackend(*backend),
 	}
-	profile.Progress = progressLine(os.Stderr)
+	profile.Progress = progressLine(log)
 
-	if *metric == "resilience" {
-		if err := runResilience(profile, *losses, *recovery, *csvPath); err != nil {
+	switch *metric {
+	case "resilience":
+		if err := runResilience(profile, *losses, *recovery, *csvPath, log); err != nil {
+			return err
+		}
+		return stopProfiles()
+	case "convergence":
+		if err := runConvergence(profile, *csvPath, log); err != nil {
 			return err
 		}
 		return stopProfiles()
@@ -76,12 +90,12 @@ func run(args []string) error {
 
 	var pts []adc.SweepPoint
 	if *metric == "time" {
-		fmt.Println("running Fig. 15 timing sweep on paper-faithful O(n) tables; this is deliberately slow…")
+		log.Infof("running Fig. 15 timing sweep on paper-faithful O(n) tables; this is deliberately slow…")
 		pts, err = adc.TimingSweep(profile)
 	} else {
 		pts, err = adc.Sweep(profile)
 	}
-	fmt.Fprintln(os.Stderr)
+	log.EndProgress()
 	if err != nil {
 		return err
 	}
@@ -126,14 +140,14 @@ func run(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s\n", *csvPath)
+		log.Infof("wrote %s", *csvPath)
 	}
 	return nil
 }
 
 // runResilience runs the message-loss study: hit rate and completion vs
 // loss rate, with and without the recovery protocol.
-func runResilience(profile adc.Profile, lossList, recoverySpec, csvPath string) error {
+func runResilience(profile adc.Profile, lossList, recoverySpec, csvPath string, log *clilog.Logger) error {
 	var rates []float64
 	if lossList != "" {
 		for _, s := range strings.Split(lossList, ",") {
@@ -149,7 +163,7 @@ func runResilience(profile adc.Profile, lossList, recoverySpec, csvPath string) 
 		return err
 	}
 	pts, err := adc.LossSweep(profile, rates, rec)
-	fmt.Fprintln(os.Stderr)
+	log.EndProgress()
 	if err != nil {
 		return err
 	}
@@ -180,23 +194,62 @@ func runResilience(profile adc.Profile, lossList, recoverySpec, csvPath string) 
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("\nwrote %s\n", csvPath)
+		log.Infof("wrote %s", csvPath)
+	}
+	return nil
+}
+
+// runConvergence runs the location-convergence study: how fast proxies
+// reach lasting agreement on object locations, vs caching-table size.
+func runConvergence(profile adc.Profile, csvPath string, log *clilog.Logger) error {
+	pts, err := adc.ConvergenceSweep(profile, nil)
+	log.EndProgress()
+	if err != nil {
+		return err
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "caching size\tobjects\tconverged\tmean time (ticks)\tmax time (ticks)\thit rate")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%d\t%d\t%d\t%.0f\t%d\t%.4f\n",
+			pt.Size, pt.Objects, pt.Converged, pt.MeanTime, pt.MaxTime, pt.HitRate)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // close error checked below
+		fmt.Fprintln(f, "caching_size,objects,converged,mean_time_ticks,max_time_ticks,hit_rate")
+		for _, pt := range pts {
+			fmt.Fprintf(f, "%d,%d,%d,%.1f,%d,%.6f\n",
+				pt.Size, pt.Objects, pt.Converged, pt.MeanTime, pt.MaxTime, pt.HitRate)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Infof("wrote %s", csvPath)
 	}
 	return nil
 }
 
 // progressLine returns a Profile.Progress callback that rewrites one
 // carriage-returned status line with run counts, the resolved pool width
-// and engine throughput.
-func progressLine(w *os.File) func(adc.Progress) {
+// and engine throughput. The logger suppresses it under -quiet and keeps
+// it off stdout always.
+func progressLine(log *clilog.Logger) func(adc.Progress) {
 	start := time.Now()
 	return func(p adc.Progress) {
 		elapsed := time.Since(start).Seconds()
-		line := fmt.Sprintf("\rrun %d/%d  %d workers  %.1f runs/s",
+		line := fmt.Sprintf("run %d/%d  %d workers  %.1f runs/s",
 			p.Done, p.Total, p.Workers, float64(p.Done)/elapsed)
 		if p.Events > 0 {
 			line += fmt.Sprintf("  %.1fM events/s", float64(p.Events)/elapsed/1e6)
 		}
-		fmt.Fprintf(w, "%s  %s elapsed", line, time.Since(start).Round(time.Second))
+		log.Progressf("%s  %s elapsed", line, time.Since(start).Round(time.Second))
 	}
 }

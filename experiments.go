@@ -518,3 +518,40 @@ func BackendComparison(p Profile) ([]BackendPoint, error) {
 	}
 	return out, nil
 }
+
+// ConvergencePoint is one measurement of ADC's self-organization speed:
+// how long after an object first appears do the proxies holding a belief
+// about its location reach lasting agreement, at one caching-table size.
+type ConvergencePoint struct {
+	// Size is the scaled caching-table capacity of this run.
+	Size int
+	// Objects counts distinct objects observed; Converged of them ended
+	// the run in lasting location agreement.
+	Objects   int
+	Converged int
+	// MeanTime and MaxTime are virtual ticks from first appearance to the
+	// start of the final uninterrupted agreement, over converged objects.
+	MeanTime float64
+	MaxTime  int64
+	// HitRate is the whole-run hit rate, for context.
+	HitRate float64
+}
+
+// ConvergenceSweep measures location-convergence time against caching-table
+// size on the virtual-time runtime, deriving the times from a kind-masked
+// request-path trace. sizes nil selects the paper's 5k–30k grid.
+func ConvergenceSweep(p Profile, sizes []int) ([]ConvergencePoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.ConvergenceSweep(ip, experiments.ConvergenceOptions{Sizes: sizes})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ConvergencePoint, len(pts))
+	for i, pt := range pts {
+		out[i] = ConvergencePoint(pt)
+	}
+	return out, nil
+}

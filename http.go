@@ -105,6 +105,23 @@ func (f *HTTPFarm) RunParallel(src Source, seed int64, workers int) (requests, h
 	return f.farm.RunWorkloadN(sourceAdapter{src}, seed, workers)
 }
 
+// SetTracer installs a request tracer across the farm: every proxy, the
+// origin, and the farm's client side (Get/Run inject and deliver events).
+// Events are wall-clock timestamped. Call it before driving traffic; nil
+// uninstalls.
+func (f *HTTPFarm) SetTracer(t *Tracer) { f.farm.SetTracer(t) }
+
+// DebugURL returns the live-introspection base of the i-th proxy; append
+// /debug/vars (JSON counters and table occupancy), /debug/tables (mapping
+// table dump) or /debug/pprof/ (Go profiler).
+func (f *HTTPFarm) DebugURL(i int) (string, error) {
+	u, err := f.ProxyURL(i)
+	if err != nil {
+		return "", err
+	}
+	return u + "/debug", nil
+}
+
 // OriginResolved counts requests the origin server answered.
 func (f *HTTPFarm) OriginResolved() uint64 { return f.farm.Origin.Resolved() }
 

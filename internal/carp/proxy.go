@@ -7,6 +7,7 @@ import (
 	"github.com/adc-sim/adc/internal/lru"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/obs"
 	"github.com/adc-sim/adc/internal/sim"
 )
 
@@ -26,6 +27,7 @@ type Proxy struct {
 	hasher Assigner
 	cache  *lru.Cache[ids.ObjectID, struct{}]
 	stats  metrics.ProxyStats
+	tracer *obs.Tracer
 }
 
 var _ sim.Node = (*Proxy)(nil)
@@ -78,6 +80,9 @@ func (p *Proxy) Stats() metrics.ProxyStats { return p.stats }
 // CacheLen returns the number of cached objects.
 func (p *Proxy) CacheLen() int { return p.cache.Len() }
 
+// SetTracer installs the request tracer (before the run starts).
+func (p *Proxy) SetTracer(t *obs.Tracer) { p.tracer = t }
+
 // Handle implements sim.Node.
 func (p *Proxy) Handle(ctx sim.Context, m msg.Message) {
 	switch t := m.(type) {
@@ -94,6 +99,15 @@ func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
 	// Local cache first.
 	if _, ok := p.cache.Get(req.Object); ok {
 		p.stats.LocalHits++
+		if p.tracer.Enabled(obs.KindHit) {
+			e := obs.Ev(obs.KindHit, p.id)
+			e.At = sim.TraceNow(ctx)
+			e.Req = req.ID
+			e.Obj = req.Object
+			e.Loc = p.id
+			e.Hops = int32(req.Hops)
+			p.tracer.Emit(e)
+		}
 		rep := sim.Resolve(ctx, req)
 		rep.Resolver = p.id
 		rep.Cached = true
@@ -112,6 +126,7 @@ func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
 		p.stats.ForwardLearned++
 		req.Sender = p.id
 		req.To = assigned
+		p.traceForward(ctx, req, obs.ReasonHashed)
 		ctx.Send(req)
 		return
 	}
@@ -122,14 +137,31 @@ func (p *Proxy) receiveRequest(ctx sim.Context, req *msg.Request) {
 	req.Sender = p.id
 	req.Path = append(req.Path, p.id)
 	req.To = ids.Origin
+	p.traceForward(ctx, req, obs.ReasonSelfOrigin)
 	ctx.Send(req)
+}
+
+// traceForward emits one forward event for req as routed (req.To set).
+func (p *Proxy) traceForward(ctx sim.Context, req *msg.Request, reason int64) {
+	if !p.tracer.Enabled(obs.KindForward) {
+		return
+	}
+	e := obs.Ev(obs.KindForward, p.id)
+	e.At = sim.TraceNow(ctx)
+	e.Req = req.ID
+	e.Obj = req.Object
+	e.To = req.To
+	e.Hops = int32(req.Hops)
+	e.Arg = reason
+	p.tracer.Emit(e)
 }
 
 func (p *Proxy) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	p.stats.RepliesSeen++
 	// Store the received data with LRU replacement, then forward
 	// directly to the client.
-	if p.cache.Put(rep.Object, struct{}{}) {
+	evicted := p.cache.Put(rep.Object, struct{}{})
+	if evicted {
 		p.stats.CacheEvictions++
 	}
 	p.stats.CacheInsertions++
@@ -137,5 +169,18 @@ func (p *Proxy) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	rep.Cached = true
 	rep.Path = rep.Path[:0]
 	rep.To = rep.Client
+	if p.tracer.Enabled(obs.KindBackward) {
+		// CARP has no mapping tables; model the LRU insert as a
+		// none→caching transition so the outcome decodes uniformly.
+		e := obs.Ev(obs.KindBackward, p.id)
+		e.At = sim.TraceNow(ctx)
+		e.Req = rep.ID
+		e.Obj = rep.Object
+		e.To = rep.To
+		e.Loc = p.id
+		e.Hops = int32(rep.Hops)
+		e.Arg = obs.EncodeOutcome(0, 1, evicted, false, false)
+		p.tracer.Emit(e)
+	}
 	ctx.Send(rep)
 }

@@ -98,6 +98,9 @@ func (c *Cluster) addProxy(eng *sim.Engine) error {
 	if err := eng.Register(p); err != nil {
 		return fmt.Errorf("cluster: join proxy %v: %w", id, err)
 	}
+	if c.cfg.Tracer != nil {
+		p.SetTracer(c.cfg.Tracer)
+	}
 	for _, q := range c.adcProxies {
 		q.AddPeer(id)
 	}

@@ -19,6 +19,7 @@ import (
 	"github.com/adc-sim/adc/internal/hierarchy"
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/obs"
 	"github.com/adc-sim/adc/internal/proxy"
 	"github.com/adc-sim/adc/internal/sim"
 	"github.com/adc-sim/adc/internal/trace"
@@ -187,6 +188,18 @@ type Config struct {
 	// protocol — an extension beyond the paper. Requires
 	// RuntimeVirtualTime; the zero value is disabled.
 	Recovery sim.Recovery
+
+	// Tracer, when non-nil, records per-hop request-path events across
+	// clients, proxies, the origin, and the engine's drop paths. Requires
+	// a deterministic engine (RuntimeSequential or RuntimeVirtualTime);
+	// nil keeps every hot path on its single-branch disabled guard.
+	Tracer *obs.Tracer
+
+	// MetricsEvery, when positive, records windowed time-series buckets
+	// (hit rate, hops, inter-request gaps, fault counters, per-proxy
+	// table occupancy) every MetricsEvery virtual ticks. Requires
+	// RuntimeVirtualTime.
+	MetricsEvery int64
 }
 
 // Validate reports the first configuration error.
@@ -217,6 +230,15 @@ func (c Config) Validate() error {
 	}
 	if c.OpenLoopInterval > 0 && c.Runtime != RuntimeVirtualTime {
 		return fmt.Errorf("cluster: open-loop injection requires the virtual-time runtime")
+	}
+	if c.Tracer != nil && c.Runtime != RuntimeSequential && c.Runtime != RuntimeVirtualTime {
+		return fmt.Errorf("cluster: tracing requires the sequential or virtual-time runtime")
+	}
+	if c.MetricsEvery < 0 {
+		return fmt.Errorf("cluster: MetricsEvery must be non-negative, got %d", c.MetricsEvery)
+	}
+	if c.MetricsEvery > 0 && c.Runtime != RuntimeVirtualTime {
+		return fmt.Errorf("cluster: time-series metrics require the virtual-time runtime")
 	}
 	if err := c.validateChurn(); err != nil {
 		return err
@@ -253,6 +275,9 @@ type Result struct {
 	// entries across ADC proxies at run end — the leaked state a lost
 	// reply leaves behind. Recovery's TTL drains it to zero.
 	LeakedPending int
+	// Buckets is the virtual-time-windowed metrics series (empty unless
+	// Config.MetricsEvery > 0).
+	Buckets []metrics.Bucket
 	// Faults holds the fault-injection counters (zero without a plan).
 	Faults sim.FaultStats
 	// Algorithm echoes the scheme that produced the result.
@@ -291,6 +316,9 @@ type Cluster struct {
 
 	// churn intercepts the request stream to apply proxy joins.
 	churn *churnSource
+
+	// ts is the shared time-series recorder (nil unless MetricsEvery > 0).
+	ts *metrics.TimeSeries
 }
 
 // New builds the cluster for cfg, with src as the request stream.
@@ -456,7 +484,53 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 		c.clients = append(c.clients, cl)
 		c.nodes = append(c.nodes, cl)
 	}
+
+	if cfg.MetricsEvery > 0 {
+		c.ts = metrics.NewTimeSeries(cfg.MetricsEvery)
+		c.ts.SetOnRoll(c.snapshotOccupancy)
+	}
+	if cfg.Tracer != nil || c.ts != nil {
+		c.wireObservability(cfg.Tracer)
+	}
 	return c, nil
+}
+
+// wireObservability hands the tracer and time-series recorder to every node
+// that emits into them. A nil tracer with a live recorder is valid: only
+// the windowed counters are collected then.
+func (c *Cluster) wireObservability(tr *obs.Tracer) {
+	for _, p := range c.adcProxies {
+		p.SetTracer(tr)
+	}
+	for _, p := range c.carpProxies {
+		p.SetTracer(tr)
+	}
+	c.origin.SetTracer(tr)
+	for _, cl := range c.clients {
+		switch t := cl.(type) {
+		case *sim.Client:
+			t.SetTracer(tr)
+			t.SetTimeSeries(c.ts)
+		case *sim.OpenLoopClient:
+			t.SetTracer(tr)
+			t.SetTimeSeries(c.ts)
+		}
+	}
+}
+
+// snapshotOccupancy fills a sealing bucket with per-proxy table sizes: the
+// total mapping-table entries and the cached subset. It runs on the engine
+// thread via TimeSeries.SetOnRoll.
+func (c *Cluster) snapshotOccupancy(b *metrics.Bucket) {
+	for _, p := range c.adcProxies {
+		tb := p.Tables()
+		b.Occupancy = append(b.Occupancy, tb.Len())
+		b.Cached = append(b.Cached, tb.Caching().Len())
+	}
+	for _, p := range c.carpProxies {
+		b.Occupancy = append(b.Occupancy, p.CacheLen())
+		b.Cached = append(b.Cached, p.CacheLen())
+	}
 }
 
 // splitSource partitions src round-robin into n streams. n == 1 passes the
@@ -545,16 +619,21 @@ func (c *Cluster) Run() (*Result, error) {
 				return nil, err
 			}
 		}
+		eng.SetTracer(c.cfg.Tracer)
+		eng.SetTimeSeries(c.ts)
 		if err := eng.Run(); err != nil {
 			return nil, err
 		}
+		c.ts.Finish(eng.VNow())
 		delivered = eng.Delivered()
 		dropped = eng.Dropped()
 		faultStats = eng.FaultStats()
 	case RuntimeAgents, RuntimeTCP:
-		if err := c.runConcurrent(); err != nil {
+		d, err := c.runConcurrent()
+		if err != nil {
 			return nil, err
 		}
+		dropped = d
 	default:
 		return nil, fmt.Errorf("cluster: unknown runtime %d", int(c.cfg.Runtime))
 	}
@@ -595,8 +674,11 @@ func (r tcpRuntime) Run(done <-chan struct{}) {
 }
 
 // runConcurrent executes on a concurrent runtime, terminating when every
-// client has consumed its trace.
-func (c *Cluster) runConcurrent() error {
+// client has consumed its trace. It returns the runtime's dropped-message
+// count: the goroutine runtime counts sends to unregistered destinations,
+// which previously died inside the runtime and never reached Result — a
+// silent wiring failure in pooled sweeps.
+func (c *Cluster) runConcurrent() (uint64, error) {
 	var rt concurrentRuntime
 	if c.cfg.Runtime == RuntimeTCP {
 		rt = tcpRuntime{nw: transport.NewNetwork()}
@@ -612,7 +694,7 @@ func (c *Cluster) runConcurrent() error {
 
 	for _, n := range c.nodes {
 		if err := rt.Register(n); err != nil {
-			return err
+			return 0, err
 		}
 	}
 	for _, cl := range c.clients {
@@ -627,7 +709,10 @@ func (c *Cluster) runConcurrent() error {
 		})
 	}
 	rt.Run(done)
-	return nil
+	if ar, ok := rt.(*agent.Runtime); ok {
+		return ar.Dropped(), nil
+	}
+	return 0, nil
 }
 
 func (c *Cluster) collect(elapsed time.Duration) *Result {
@@ -686,6 +771,7 @@ func (c *Cluster) collect(elapsed time.Duration) *Result {
 		res.ProxyStats = append(res.ProxyStats, c.coordNode.Stats())
 	}
 	res.OriginResolved = c.origin.Resolved()
+	res.Buckets = c.ts.Buckets()
 	return res
 }
 

@@ -1,0 +1,199 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/obs"
+	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+// TestTracingIsObservationallyPure: attaching a tracer must not change a
+// single simulation observable — the tracer only watches. Runs the golden
+// workload with and without a tracer and compares full summaries.
+func TestTracingIsObservationallyPure(t *testing.T) {
+	for _, rt := range []Runtime{RuntimeSequential, RuntimeVirtualTime} {
+		t.Run(rt.String(), func(t *testing.T) {
+			base, err := Run(goldenConfig(rt), trace.NewSliceSource(goldenTrace()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := goldenConfig(rt)
+			cfg.Tracer = obs.New()
+			traced, err := Run(cfg, trace.NewSliceSource(goldenTrace()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Elapsed is wall-clock; everything else must match exactly.
+			base.Summary.Elapsed = 0
+			traced.Summary.Elapsed = 0
+			if base.Summary != traced.Summary {
+				t.Errorf("tracing changed the summary:\nbase   %+v\ntraced %+v", base.Summary, traced.Summary)
+			}
+			if base.Delivered != traced.Delivered || base.OriginResolved != traced.OriginResolved {
+				t.Errorf("tracing changed delivery counts: %d/%d vs %d/%d",
+					base.Delivered, base.OriginResolved, traced.Delivered, traced.OriginResolved)
+			}
+			if cfg.Tracer.Len() == 0 {
+				t.Error("tracer recorded nothing")
+			}
+		})
+	}
+}
+
+// TestTraceWellFormed: a lossless traced run must produce a schema-valid
+// trace whose reconstructed trees account for every injected request — all
+// delivered, single-attempt, and none orphaned.
+func TestTraceWellFormed(t *testing.T) {
+	cfg := goldenConfig(RuntimeVirtualTime)
+	cfg.Tracer = obs.New()
+	res, err := Run(cfg, trace.NewSliceSource(goldenTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := cfg.Tracer.Events()
+	if err := obs.Validate(events); err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	}
+
+	var injects, delivers uint64
+	for _, e := range events {
+		switch e.Kind {
+		case obs.KindInject:
+			injects++
+		case obs.KindDeliver:
+			delivers++
+		}
+	}
+	if injects != res.Summary.Requests {
+		t.Errorf("inject events = %d, want %d", injects, res.Summary.Requests)
+	}
+	if delivers != res.Summary.Requests {
+		t.Errorf("deliver events = %d, want %d", delivers, res.Summary.Requests)
+	}
+
+	trees := obs.BuildTrees(events)
+	if uint64(len(trees)) != res.Summary.Requests {
+		t.Fatalf("%d trees, want %d", len(trees), res.Summary.Requests)
+	}
+	for _, tr := range trees {
+		if tr.Orphan {
+			t.Fatalf("orphan tree %v in a lossless trace", tr.Attempts[0].ID)
+		}
+		if !tr.Delivered() {
+			t.Fatalf("undelivered tree %v in a lossless closed-loop run", tr.Attempts[0].ID)
+		}
+		if len(tr.Attempts) != 1 {
+			t.Fatalf("tree %v has %d attempts without loss", tr.Attempts[0].ID, len(tr.Attempts))
+		}
+	}
+}
+
+// TestTraceRetransmissionTrees is the end-to-end recovery-tracing contract:
+// under ~1% message loss with the recovery protocol on, every retransmitted
+// request must reconstruct as one tree whose Retry events chain to attempts
+// inside the same tree — never as orphan fragments.
+func TestTraceRetransmissionTrees(t *testing.T) {
+	cfg := goldenConfig(RuntimeVirtualTime)
+	cfg.Tracer = obs.New()
+	cfg.Faults = &sim.FaultPlan{Seed: 7, Loss: 0.01}
+	cfg.Recovery = sim.DefaultRecovery()
+	res, err := Run(cfg, trace.NewSliceSource(goldenTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Retries == 0 {
+		t.Fatal("no retries at 1% loss; the test exercises nothing")
+	}
+	events := cfg.Tracer.Events()
+	if err := obs.Validate(events); err != nil {
+		t.Fatalf("trace fails validation: %v", err)
+	}
+
+	trees := obs.BuildTrees(events)
+	var retransmitted int
+	for _, tr := range trees {
+		if tr.Orphan {
+			t.Fatalf("orphan tree %v: a retry lost its predecessor link", tr.Attempts[0].ID)
+		}
+		if len(tr.Attempts) > 1 {
+			retransmitted++
+		}
+	}
+	if retransmitted == 0 {
+		t.Fatal("no multi-attempt trees despite retries")
+	}
+
+	// Every Retry event's Prev must resolve to an attempt in the same tree,
+	// and retry events must equal the engine's retry counter.
+	var retryEvents uint64
+	for _, e := range events {
+		if e.Kind != obs.KindRetry {
+			continue
+		}
+		retryEvents++
+		tr := obs.TreeFor(trees, e.Req)
+		if tr == nil {
+			t.Fatalf("retry %v belongs to no tree", e.Req)
+		}
+		if obs.TreeFor(trees, e.Prev) != tr {
+			t.Fatalf("retry %v and its predecessor %v are in different trees", e.Req, e.Prev)
+		}
+	}
+	if retryEvents != res.Summary.Retries {
+		t.Errorf("retry events = %d, engine counted %d", retryEvents, res.Summary.Retries)
+	}
+}
+
+// TestMetricsBuckets: the time-series recorder's windows must re-add to the
+// end-of-run summary and carry per-proxy occupancy snapshots.
+func TestMetricsBuckets(t *testing.T) {
+	cfg := goldenConfig(RuntimeVirtualTime)
+	cfg.MetricsEvery = 50_000
+	res, err := Run(cfg, trace.NewSliceSource(goldenTrace()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Buckets) == 0 {
+		t.Fatal("no buckets recorded")
+	}
+	var injected, completed, hits uint64
+	var prevEnd int64
+	for i, b := range res.Buckets {
+		if b.End != b.Start+cfg.MetricsEvery {
+			t.Errorf("bucket %d: window [%d,%d) is not %d wide", i, b.Start, b.End, cfg.MetricsEvery)
+		}
+		if i > 0 && b.Start != prevEnd {
+			t.Errorf("bucket %d: starts at %d, previous ended at %d", i, b.Start, prevEnd)
+		}
+		prevEnd = b.End
+		injected += b.Injected
+		completed += b.Completed
+		hits += b.Hits
+		if len(b.Occupancy) != cfg.NumProxies || len(b.Cached) != cfg.NumProxies {
+			t.Errorf("bucket %d: %d/%d proxy snapshots, want %d", i, len(b.Occupancy), len(b.Cached), cfg.NumProxies)
+		}
+	}
+	if injected != res.Summary.Requests || completed != res.Summary.Requests {
+		t.Errorf("bucket totals injected=%d completed=%d, want %d", injected, completed, res.Summary.Requests)
+	}
+	if hits != res.Summary.Hits {
+		t.Errorf("bucket hits = %d, want %d", hits, res.Summary.Hits)
+	}
+}
+
+// TestTraceConfigValidation: tracing and metrics are engine features — the
+// concurrency runtimes must refuse them loudly rather than silently record
+// nothing.
+func TestTraceConfigValidation(t *testing.T) {
+	cfg := goldenConfig(RuntimeAgents)
+	cfg.Tracer = obs.New()
+	if _, err := Run(cfg, trace.NewSliceSource(goldenTrace())); err == nil {
+		t.Error("tracer on the agents runtime accepted")
+	}
+	cfg = goldenConfig(RuntimeSequential)
+	cfg.MetricsEvery = 1000
+	if _, err := Run(cfg, trace.NewSliceSource(goldenTrace())); err == nil {
+		t.Error("metrics on the clockless sequential runtime accepted")
+	}
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import "testing"
+
+func TestConvergenceSweep(t *testing.T) {
+	p := tinyProfile()
+	p.Parallelism = 2
+	pts, err := ConvergenceSweep(p, ConvergenceOptions{Sizes: []int{5_000, 20_000}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.Size <= 0 {
+			t.Errorf("point %d: non-positive scaled size %d", i, pt.Size)
+		}
+		if pt.Objects == 0 {
+			t.Errorf("point %d: no objects observed", i)
+		}
+		if pt.Converged == 0 {
+			t.Errorf("point %d: no object ever converged", i)
+		}
+		if pt.Converged > pt.Objects {
+			t.Errorf("point %d: converged %d > objects %d", i, pt.Converged, pt.Objects)
+		}
+		if pt.MeanTime < 0 || pt.MaxTime < 0 {
+			t.Errorf("point %d: negative convergence time %+v", i, pt)
+		}
+		if pt.HitRate <= 0 || pt.HitRate >= 1 {
+			t.Errorf("point %d: implausible hit rate %v", i, pt.HitRate)
+		}
+	}
+	// More caching capacity must not shrink the observed object population:
+	// both runs replay the same trace.
+	if pts[0].Objects != pts[1].Objects {
+		t.Errorf("object population differs across sizes: %d vs %d", pts[0].Objects, pts[1].Objects)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"github.com/adc-sim/adc/internal/core"
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/obs"
 )
 
 // Header names of the ADC-over-HTTP protocol.
@@ -71,6 +72,7 @@ type Origin struct {
 
 	mu       sync.Mutex
 	resolved uint64
+	tracer   *obs.Tracer
 }
 
 // Payload returns the canonical payload of an object.
@@ -102,6 +104,13 @@ func (o *Origin) Resolved() uint64 {
 	return o.resolved
 }
 
+// SetTracer installs the request tracer.
+func (o *Origin) SetTracer(t *obs.Tracer) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.tracer = t
+}
+
 // Close shuts the origin down.
 func (o *Origin) Close() error { return o.srv.Close() }
 
@@ -113,7 +122,14 @@ func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	o.mu.Lock()
 	o.resolved++
+	tr := o.tracer
 	o.mu.Unlock()
+	if tr.Enabled(obs.KindOriginResolve) {
+		e := obs.Ev(obs.KindOriginResolve, ids.Origin)
+		e.Req = HashRequestID(r.Header.Get(HeaderRequestID))
+		e.Obj = obj
+		tr.Emit(e)
+	}
 	w.Header().Set(HeaderOrigin, "1")
 	if _, err := w.Write(Payload(obj)); err != nil {
 		return // client went away; nothing to do
@@ -141,6 +157,7 @@ type Proxy struct {
 	peerURL   map[ids.NodeID]string
 	localTime int64
 	stats     metrics.ProxyStats
+	tracer    *obs.Tracer
 }
 
 // Config assembles one HTTP proxy.
@@ -182,9 +199,21 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(objPathPrefix, p.handle)
+	registerDebug(mux, p)
 	p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go p.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
 	return p, nil
+}
+
+// Handler exposes the proxy's full mux (object path plus debug endpoints)
+// for in-process serving, e.g. under httptest.
+func (p *Proxy) Handler() http.Handler { return p.srv.Handler }
+
+// SetTracer installs the request tracer.
+func (p *Proxy) SetTracer(t *obs.Tracer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tracer = t
 }
 
 // URL returns the proxy's base URL.
@@ -248,6 +277,14 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	if payload, ok := p.store[obj]; ok {
 		p.stats.LocalHits++
 		p.tables.Recycle(p.tables.Update(obj, p.id, p.localTime))
+		if p.tracer.Enabled(obs.KindHit) {
+			e := obs.Ev(obs.KindHit, p.id)
+			e.Req = HashRequestID(reqID)
+			e.Obj = obj
+			e.Loc = p.id
+			e.Hops = int32(forwards)
+			p.tracer.Emit(e)
+		}
 		p.mu.Unlock()
 		w.Header().Set(HeaderResolver, p.id.String())
 		w.Header().Set(HeaderCached, "1")
@@ -258,15 +295,28 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	atMax := p.maxHops > 0 && forwards >= p.maxHops
 	p.pending[reqID]++
 	var upstream string
+	upNode := ids.Origin
+	reason := obs.ReasonLoop
 	switch {
 	case looped, atMax:
 		if looped {
 			p.stats.LoopsDetected++
+		} else {
+			reason = obs.ReasonMaxHops
 		}
 		p.stats.ForwardOrigin++
 		upstream = p.origin
 	default:
-		upstream = p.forwardAddrLocked(obj)
+		upstream, upNode, reason = p.forwardAddrLocked(obj)
+	}
+	if p.tracer.Enabled(obs.KindForward) {
+		e := obs.Ev(obs.KindForward, p.id)
+		e.Req = HashRequestID(reqID)
+		e.Obj = obj
+		e.To = upNode
+		e.Hops = int32(forwards)
+		e.Arg = reason
+		p.tracer.Emit(e)
 	}
 	p.mu.Unlock()
 
@@ -308,6 +358,8 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		p.stats.CacheEvictions++
 		delete(p.store, out.CacheEvicted.Object)
 	}
+	outArg := obs.EncodeOutcome(int(out.From), int(out.To),
+		out.CacheEvicted != nil, out.MultipleEvicted != nil, out.Dropped != nil)
 	p.tables.Recycle(out) // last read of the outcome
 	cached := hdr.Get(HeaderCached) == "1"
 	if !cached {
@@ -315,6 +367,15 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 			resolver = p.id
 			cached = true
 		}
+	}
+	if p.tracer.Enabled(obs.KindBackward) {
+		e := obs.Ev(obs.KindBackward, p.id)
+		e.Req = HashRequestID(reqID)
+		e.Obj = obj
+		e.Loc = resolver
+		e.Hops = int32(forwards)
+		e.Arg = outArg
+		p.tracer.Emit(e)
 	}
 	p.mu.Unlock()
 
@@ -328,21 +389,23 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	_, _ = w.Write(body)
 }
 
-// forwardAddrLocked is Forward_Addr (Fig. 6); p.mu must be held.
-func (p *Proxy) forwardAddrLocked(obj ids.ObjectID) string {
+// forwardAddrLocked is Forward_Addr (Fig. 6); p.mu must be held. Besides
+// the upstream URL it reports the destination node and the routing reason
+// for the trace.
+func (p *Proxy) forwardAddrLocked(obj ids.ObjectID) (string, ids.NodeID, int64) {
 	if loc, ok := p.tables.ForwardLocation(obj); ok {
 		if loc == p.id {
 			p.stats.ForwardOrigin++
-			return p.origin
+			return p.origin, ids.Origin, obs.ReasonSelfOrigin
 		}
 		if url, known := p.peerURL[loc]; known {
 			p.stats.ForwardLearned++
-			return url
+			return url, loc, obs.ReasonLearned
 		}
 	}
 	p.stats.ForwardRandom++
 	peer := p.peers[p.rng.Intn(len(p.peers))]
-	return p.peerURL[peer]
+	return p.peerURL[peer], peer, obs.ReasonRandom
 }
 
 // fetch issues the upstream GET carrying the ADC headers.

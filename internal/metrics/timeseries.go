@@ -1,0 +1,218 @@
+package metrics
+
+// Bucket is one virtual-time window of a TimeSeries: the windowed
+// counterpart of the end-of-run Summary, so hit rate, hops, and the
+// recovery counters can be plotted against virtual time instead of only
+// reported as run-wide scalars.
+type Bucket struct {
+	// Start and End bound the window in virtual ticks: [Start, End).
+	Start, End int64
+
+	// Injected counts logical requests issued in the window; Completed
+	// counts deliveries, Hits the proxy-resolved subset, HopsSum the total
+	// hops of completed requests.
+	Injected  uint64
+	Completed uint64
+	Hits      uint64
+	HopsSum   int64
+
+	// Recovery and fault counters for the window.
+	Timeouts  uint64
+	Retries   uint64
+	Abandoned uint64
+	Drops     uint64
+
+	// Inter-request-time distribution of injections in the window: count,
+	// sum, min and max of the gaps between consecutive injections.
+	Gaps   uint64
+	GapSum int64
+	GapMin int64
+	GapMax int64
+
+	// Occupancy and Cached are per-proxy snapshots taken when the bucket
+	// seals: total mapping-table entries and cached (caching-table or LRU)
+	// entries. Empty when no snapshot hook is installed.
+	Occupancy []int
+	Cached    []int
+}
+
+// HitRate returns the window's hit rate (0 when nothing completed).
+func (b Bucket) HitRate() float64 {
+	if b.Completed == 0 {
+		return 0
+	}
+	return float64(b.Hits) / float64(b.Completed)
+}
+
+// MeanHops returns the window's mean hops per completed request.
+func (b Bucket) MeanHops() float64 {
+	if b.Completed == 0 {
+		return 0
+	}
+	return float64(b.HopsSum) / float64(b.Completed)
+}
+
+// MeanGap returns the window's mean inter-injection gap in ticks.
+func (b Bucket) MeanGap() float64 {
+	if b.Gaps == 0 {
+		return 0
+	}
+	return float64(b.GapSum) / float64(b.Gaps)
+}
+
+// TimeSeries accumulates Buckets of fixed virtual-time width. It is fed
+// from the engine thread (clients and the virtual-time engine itself), so
+// it needs no locking; all feed methods are nil-receiver-safe, making an
+// absent recorder a cheap no-op at the call sites.
+type TimeSeries struct {
+	every  int64
+	cur    Bucket
+	sealed []Bucket
+
+	lastInject  int64
+	haveInject  bool
+	anyActivity bool
+
+	// onRoll, when set, runs just before a bucket seals — the cluster uses
+	// it to snapshot per-proxy table occupancy into the bucket.
+	onRoll func(*Bucket)
+}
+
+// NewTimeSeries returns a recorder with the given bucket width in virtual
+// ticks (must be positive).
+func NewTimeSeries(every int64) *TimeSeries {
+	if every <= 0 {
+		every = 1
+	}
+	return &TimeSeries{
+		every: every,
+		cur:   Bucket{Start: 0, End: every},
+	}
+}
+
+// SetOnRoll installs the bucket-seal hook. It runs on the engine thread.
+func (t *TimeSeries) SetOnRoll(fn func(*Bucket)) {
+	if t != nil {
+		t.onRoll = fn
+	}
+}
+
+// advance seals buckets until at falls inside the current one.
+func (t *TimeSeries) advance(at int64) {
+	for at >= t.cur.End {
+		t.seal()
+	}
+}
+
+func (t *TimeSeries) seal() {
+	if t.onRoll != nil {
+		t.onRoll(&t.cur)
+	}
+	t.sealed = append(t.sealed, t.cur)
+	start := t.cur.End
+	t.cur = Bucket{Start: start, End: start + t.every}
+}
+
+// Inject records one logical request issued at virtual time at.
+func (t *TimeSeries) Inject(at int64) {
+	if t == nil {
+		return
+	}
+	t.advance(at)
+	t.anyActivity = true
+	t.cur.Injected++
+	if t.haveInject {
+		gap := at - t.lastInject
+		b := &t.cur
+		if b.Gaps == 0 || gap < b.GapMin {
+			b.GapMin = gap
+		}
+		if gap > b.GapMax {
+			b.GapMax = gap
+		}
+		b.Gaps++
+		b.GapSum += gap
+	}
+	t.lastInject = at
+	t.haveInject = true
+}
+
+// Complete records one delivery at virtual time at.
+func (t *TimeSeries) Complete(at int64, hit bool, hops int32) {
+	if t == nil {
+		return
+	}
+	t.advance(at)
+	t.anyActivity = true
+	t.cur.Completed++
+	if hit {
+		t.cur.Hits++
+	}
+	t.cur.HopsSum += int64(hops)
+}
+
+// Timeout records one attempt timeout.
+func (t *TimeSeries) Timeout(at int64) {
+	if t == nil {
+		return
+	}
+	t.advance(at)
+	t.anyActivity = true
+	t.cur.Timeouts++
+}
+
+// Retry records one retransmission.
+func (t *TimeSeries) Retry(at int64) {
+	if t == nil {
+		return
+	}
+	t.advance(at)
+	t.anyActivity = true
+	t.cur.Retries++
+}
+
+// Abandon records one abandoned request.
+func (t *TimeSeries) Abandon(at int64) {
+	if t == nil {
+		return
+	}
+	t.advance(at)
+	t.anyActivity = true
+	t.cur.Abandoned++
+}
+
+// Drop records one lost in-flight message.
+func (t *TimeSeries) Drop(at int64) {
+	if t == nil {
+		return
+	}
+	t.advance(at)
+	t.anyActivity = true
+	t.cur.Drops++
+}
+
+// Finish seals the in-progress bucket at end of run. Without it the final
+// partial window would be lost.
+func (t *TimeSeries) Finish(at int64) {
+	if t == nil || !t.anyActivity {
+		return
+	}
+	t.advance(at)
+	if !t.cur.isZero() {
+		t.seal()
+	}
+	t.anyActivity = false
+}
+
+func (b Bucket) isZero() bool {
+	return b.Injected == 0 && b.Completed == 0 && b.Timeouts == 0 &&
+		b.Retries == 0 && b.Abandoned == 0 && b.Drops == 0
+}
+
+// Buckets returns the sealed buckets in time order.
+func (t *TimeSeries) Buckets() []Bucket {
+	if t == nil {
+		return nil
+	}
+	return t.sealed
+}

@@ -1,0 +1,157 @@
+package metrics
+
+import "testing"
+
+func TestTimeSeriesNilReceiver(t *testing.T) {
+	var ts *TimeSeries
+	// Every feed method must be a no-op on a nil recorder.
+	ts.Inject(1)
+	ts.Complete(1, true, 2)
+	ts.Timeout(1)
+	ts.Retry(1)
+	ts.Abandon(1)
+	ts.Drop(1)
+	ts.Finish(1)
+	ts.SetOnRoll(func(*Bucket) {})
+	if ts.Buckets() != nil {
+		t.Errorf("nil recorder Buckets() = %v", ts.Buckets())
+	}
+}
+
+func TestTimeSeriesBucketRolling(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.Inject(10)
+	ts.Complete(50, true, 2)
+	ts.Inject(150) // rolls into [100,200)
+	ts.Complete(160, false, 4)
+	ts.Inject(170)
+	ts.Finish(200)
+
+	b := ts.Buckets()
+	if len(b) != 2 {
+		t.Fatalf("%d buckets, want 2", len(b))
+	}
+	b0, b1 := b[0], b[1]
+	if b0.Start != 0 || b0.End != 100 || b1.Start != 100 || b1.End != 200 {
+		t.Fatalf("bucket bounds [%d,%d) [%d,%d)", b0.Start, b0.End, b1.Start, b1.End)
+	}
+	if b0.Injected != 1 || b0.Completed != 1 || b0.Hits != 1 || b0.HopsSum != 2 {
+		t.Errorf("bucket 0 = %+v", b0)
+	}
+	if b1.Injected != 2 || b1.Completed != 1 || b1.Hits != 0 || b1.HopsSum != 4 {
+		t.Errorf("bucket 1 = %+v", b1)
+	}
+	if b0.HitRate() != 1 || b1.HitRate() != 0 {
+		t.Errorf("hit rates %v,%v, want 1,0", b0.HitRate(), b1.HitRate())
+	}
+	if b1.MeanHops() != 4 {
+		t.Errorf("bucket 1 MeanHops = %v, want 4", b1.MeanHops())
+	}
+}
+
+func TestTimeSeriesGapTracking(t *testing.T) {
+	ts := NewTimeSeries(1000)
+	// Gaps between consecutive injections: 30, 10, 60.
+	for _, at := range []int64{100, 130, 140, 200} {
+		ts.Inject(at)
+	}
+	ts.Finish(1000)
+	b := ts.Buckets()
+	if len(b) != 1 {
+		t.Fatalf("%d buckets, want 1", len(b))
+	}
+	g := b[0]
+	if g.Gaps != 3 || g.GapSum != 100 || g.GapMin != 10 || g.GapMax != 60 {
+		t.Errorf("gaps = count %d sum %d min %d max %d, want 3/100/10/60", g.Gaps, g.GapSum, g.GapMin, g.GapMax)
+	}
+	if g.MeanGap() != 100.0/3 {
+		t.Errorf("MeanGap = %v", g.MeanGap())
+	}
+	// Gap tracking spans bucket boundaries: the first injection of a new
+	// bucket still measures its distance to the previous one.
+	ts2 := NewTimeSeries(100)
+	ts2.Inject(90)
+	ts2.Inject(110)
+	ts2.Finish(200)
+	bs := ts2.Buckets()
+	if len(bs) != 2 || bs[1].Gaps != 1 || bs[1].GapSum != 20 {
+		t.Errorf("cross-bucket gap: %+v", bs)
+	}
+}
+
+func TestTimeSeriesSkipsEmptyWindows(t *testing.T) {
+	ts := NewTimeSeries(10)
+	ts.Inject(5)
+	ts.Inject(95) // seals eight empty windows in between
+	ts.Finish(100)
+	b := ts.Buckets()
+	if len(b) != 10 {
+		t.Fatalf("%d buckets, want 10 (empty windows are still sealed in order)", len(b))
+	}
+	var active int
+	for _, x := range b {
+		if x.Injected > 0 {
+			active++
+		}
+	}
+	if active != 2 {
+		t.Errorf("%d active buckets, want 2", active)
+	}
+}
+
+func TestTimeSeriesFinish(t *testing.T) {
+	// Finish seals a non-empty partial window…
+	ts := NewTimeSeries(100)
+	ts.Inject(10)
+	ts.Finish(50)
+	if n := len(ts.Buckets()); n != 1 {
+		t.Errorf("partial window: %d buckets, want 1", n)
+	}
+	// …but an untouched recorder stays empty.
+	idle := NewTimeSeries(100)
+	idle.Finish(500)
+	if n := len(idle.Buckets()); n != 0 {
+		t.Errorf("idle recorder: %d buckets, want 0", n)
+	}
+	// Double Finish does not duplicate the tail bucket.
+	ts.Finish(50)
+	if n := len(ts.Buckets()); n != 1 {
+		t.Errorf("double Finish: %d buckets, want 1", n)
+	}
+}
+
+func TestTimeSeriesOnRollSnapshots(t *testing.T) {
+	ts := NewTimeSeries(100)
+	ts.SetOnRoll(func(b *Bucket) {
+		b.Occupancy = append(b.Occupancy, 7, 8)
+		b.Cached = append(b.Cached, 3, 4)
+	})
+	ts.Inject(10)
+	ts.Inject(110)
+	ts.Finish(200)
+	b := ts.Buckets()
+	if len(b) != 2 {
+		t.Fatalf("%d buckets, want 2", len(b))
+	}
+	for i, x := range b {
+		if len(x.Occupancy) != 2 || x.Occupancy[0] != 7 || len(x.Cached) != 2 || x.Cached[1] != 4 {
+			t.Errorf("bucket %d snapshot: occupancy %v cached %v", i, x.Occupancy, x.Cached)
+		}
+	}
+}
+
+func TestTimeSeriesFaultCounters(t *testing.T) {
+	ts := NewTimeSeries(1000)
+	ts.Drop(10)
+	ts.Timeout(20)
+	ts.Retry(30)
+	ts.Abandon(40)
+	ts.Finish(100)
+	b := ts.Buckets()
+	if len(b) != 1 {
+		t.Fatalf("%d buckets, want 1", len(b))
+	}
+	if b[0].Drops != 1 || b[0].Timeouts != 1 || b[0].Retries != 1 || b[0].Abandoned != 1 {
+		t.Errorf("fault counters = %+v", b[0])
+	}
+}

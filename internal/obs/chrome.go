@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// chromeEvent is one entry of the Chrome trace_event "traceEvents" array
+// (the JSON format chrome://tracing and Perfetto load directly).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// chromeTid maps node IDs onto stable, positive thread IDs: origin 1,
+// proxies from 100, clients from 1000.
+func chromeTid(n ids.NodeID) int {
+	switch {
+	case n == ids.Origin:
+		return 1
+	case n.IsClient():
+		return 1000 + n.ClientIndex()
+	case n.IsProxy():
+		return 100 + int(n)
+	default:
+		return 0
+	}
+}
+
+// WriteChrome exports a trace in Chrome trace_event format: one instant
+// event per protocol step on its node's row, plus one duration span per
+// request attempt on the issuing client's row (inject/retry through
+// delivery or timeout). Timestamps reuse Event.Time, so virtual-time ticks
+// render as microseconds.
+func WriteChrome(w io.Writer, events []Event) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+
+	named := map[int]string{}
+	for _, e := range events {
+		// Per-step instant event.
+		args := map[string]any{
+			"req": e.Req.String(),
+			"obj": e.Obj.String(),
+		}
+		switch e.Kind {
+		case KindForward:
+			args["to"] = e.To.String()
+			args["reason"] = ForwardReasonString(e.Arg)
+			args["hops"] = e.Hops
+		case KindBackward:
+			args["to"] = e.To.String()
+			args["learned"] = e.Loc.String()
+			args["outcome"] = OutcomeString(e.Arg)
+		case KindHit:
+			args["loc"] = e.Loc.String()
+		case KindDeliver:
+			args["resolver"] = e.Loc.String()
+			args["fromOrigin"] = e.Arg&1 != 0
+			args["hops"] = e.Hops
+		case KindDrop:
+			args["to"] = e.To.String()
+			args["cause"] = DropCauseString(e.Arg)
+		case KindRetry:
+			args["prev"] = e.Prev.String()
+			args["attempt"] = e.Arg
+		}
+		tid := chromeTid(e.Node)
+		if _, ok := named[tid]; !ok {
+			named[tid] = e.Node.String()
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: e.Kind.String(), Ph: "i", Ts: e.Time(),
+			Pid: 1, Tid: tid, S: "t", Args: args,
+		})
+	}
+
+	// Per-attempt spans from the reconstructed trees.
+	for _, t := range BuildTrees(events) {
+		for _, a := range t.Attempts {
+			if len(a.Events) == 0 {
+				continue
+			}
+			start := a.Events[0].Time()
+			end := a.Events[len(a.Events)-1].Time()
+			status := "in-flight"
+			switch {
+			case a.Delivered:
+				status = "delivered"
+			case a.Abandoned:
+				status = "abandoned"
+			case a.TimedOut:
+				status = "timed-out"
+			}
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: a.ID.String(), Ph: "X", Ts: start, Dur: max64(end-start, 1),
+				Pid: 1, Tid: chromeTid(t.Client),
+				Args: map[string]any{"obj": t.Obj.String(), "status": status},
+			})
+		}
+	}
+
+	// Thread-name metadata so chrome://tracing labels rows by node.
+	for tid, name := range named {
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"sort"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// Convergence describes when the proxy group settled on a single believed
+// location for one object — the paper's central claim for the backwarding
+// algorithm (§IV.2): replies walking the request path back teach every
+// proxy on it the same resolver, so the group's mapping tables converge.
+//
+// A proxy's belief is tracked from the trace: a local hit means it believes
+// itself, a backward step means it learned Event.Loc, an invalidation
+// clears it. The group is uniform when every proxy holding a belief agrees;
+// StableFrom is the start of the final uninterrupted uniform period.
+type Convergence struct {
+	Obj ids.ObjectID
+	// FirstSeen is the time of the first event mentioning the object.
+	FirstSeen int64
+	// StableFrom is when the final stable agreement began (valid only if
+	// Converged).
+	StableFrom int64
+	// Converged reports whether the trace ended with a uniform belief.
+	Converged bool
+	// FinalLoc is the agreed location at the end of the trace.
+	FinalLoc ids.NodeID
+	// Believers is how many proxies held the final belief.
+	Believers int
+}
+
+// Time returns the convergence time: how long after first sight the group
+// reached its final stable agreement. Zero if never converged.
+func (c Convergence) Time() int64 {
+	if !c.Converged {
+		return 0
+	}
+	return c.StableFrom - c.FirstSeen
+}
+
+type beliefState struct {
+	conv    *Convergence
+	beliefs map[ids.NodeID]ids.NodeID
+}
+
+// check re-evaluates uniformity after a belief change at time at.
+func (s *beliefState) check(at int64) {
+	var loc ids.NodeID = ids.None
+	uniform := len(s.beliefs) > 0
+	for _, l := range s.beliefs {
+		if loc == ids.None {
+			loc = l
+		} else if l != loc {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		if !s.conv.Converged {
+			s.conv.Converged = true
+			s.conv.StableFrom = at
+		}
+		s.conv.FinalLoc = loc
+		s.conv.Believers = len(s.beliefs)
+	} else {
+		s.conv.Converged = false
+		s.conv.FinalLoc = ids.None
+		s.conv.Believers = 0
+	}
+}
+
+// ConvergenceTimes computes per-object convergence from a trace. Only Hit,
+// Backward, and Invalidate events matter, so a tracer restricted to those
+// kinds (New(KindHit, KindBackward, KindInvalidate)) yields identical
+// results at a fraction of the memory.
+func ConvergenceTimes(events []Event) map[ids.ObjectID]*Convergence {
+	sorted := make([]Event, len(events))
+	copy(sorted, events)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Seq < sorted[j].Seq })
+
+	states := make(map[ids.ObjectID]*beliefState)
+	get := func(obj ids.ObjectID, at int64) *beliefState {
+		s := states[obj]
+		if s == nil {
+			s = &beliefState{
+				conv:    &Convergence{Obj: obj, FirstSeen: at, FinalLoc: ids.None},
+				beliefs: make(map[ids.NodeID]ids.NodeID),
+			}
+			states[obj] = s
+		}
+		return s
+	}
+
+	for _, e := range sorted {
+		switch e.Kind {
+		case KindHit:
+			s := get(e.Obj, e.Time())
+			s.beliefs[e.Node] = e.Loc
+			s.check(e.Time())
+		case KindBackward:
+			if e.Loc == ids.None {
+				continue
+			}
+			s := get(e.Obj, e.Time())
+			s.beliefs[e.Node] = e.Loc
+			s.check(e.Time())
+		case KindInvalidate:
+			s := get(e.Obj, e.Time())
+			delete(s.beliefs, e.Node)
+			s.check(e.Time())
+		}
+	}
+
+	out := make(map[ids.ObjectID]*Convergence, len(states))
+	for obj, s := range states {
+		out[obj] = s.conv
+	}
+	return out
+}
+
+// ConvergenceSummary aggregates per-object convergence into the scalar the
+// sweep tooling plots: mean and max convergence time over converged
+// objects, plus how many objects never settled.
+type ConvergenceSummary struct {
+	Objects     int
+	Converged   int
+	MeanTime    float64
+	MaxTime     int64
+	Unconverged int
+}
+
+// SummarizeConvergence folds per-object results into a ConvergenceSummary.
+func SummarizeConvergence(m map[ids.ObjectID]*Convergence) ConvergenceSummary {
+	var s ConvergenceSummary
+	var total int64
+	for _, c := range m {
+		s.Objects++
+		if c.Converged {
+			s.Converged++
+			t := c.Time()
+			total += t
+			if t > s.MaxTime {
+				s.MaxTime = t
+			}
+		} else {
+			s.Unconverged++
+		}
+	}
+	if s.Converged > 0 {
+		s.MeanTime = float64(total) / float64(s.Converged)
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// belief returns a backward event teaching node that obj lives at loc.
+func belief(seq uint64, node ids.NodeID, obj ids.ObjectID, loc ids.NodeID) Event {
+	return Event{Seq: seq, Kind: KindBackward, Node: node, Obj: obj, To: 0, Loc: loc}
+}
+
+func TestConvergenceTimesAgreement(t *testing.T) {
+	obj := ids.ObjectID(1)
+	m := ConvergenceTimes([]Event{
+		belief(1, 0, obj, 3),
+		belief(2, 1, obj, 3),
+		belief(3, 2, obj, 3),
+	})
+	c := m[obj]
+	if c == nil {
+		t.Fatal("object missing from convergence map")
+	}
+	if !c.Converged {
+		t.Fatal("uniform beliefs not converged")
+	}
+	// A single believer is already uniform, so agreement starts at seq 1.
+	if c.FirstSeen != 1 || c.StableFrom != 1 {
+		t.Errorf("FirstSeen=%d StableFrom=%d, want 1,1", c.FirstSeen, c.StableFrom)
+	}
+	if c.FinalLoc != 3 || c.Believers != 3 {
+		t.Errorf("FinalLoc=%v Believers=%d, want 3,3", c.FinalLoc, c.Believers)
+	}
+	if c.Time() != 0 {
+		t.Errorf("Time() = %d, want 0 (stable from first sight)", c.Time())
+	}
+}
+
+func TestConvergenceTimesDisagreementThenAgreement(t *testing.T) {
+	obj := ids.ObjectID(1)
+	m := ConvergenceTimes([]Event{
+		belief(1, 0, obj, 3), // uniform (one believer)
+		belief(5, 1, obj, 4), // disagreement breaks it
+		belief(9, 1, obj, 3), // re-learns; uniform again from seq 9
+	})
+	c := m[obj]
+	if !c.Converged {
+		t.Fatal("re-agreed beliefs not converged")
+	}
+	if c.StableFrom != 9 {
+		t.Errorf("StableFrom = %d, want 9 (start of final uninterrupted agreement)", c.StableFrom)
+	}
+	if c.Time() != 8 {
+		t.Errorf("Time() = %d, want 8", c.Time())
+	}
+}
+
+func TestConvergenceTimesNeverAgreed(t *testing.T) {
+	obj := ids.ObjectID(1)
+	m := ConvergenceTimes([]Event{
+		belief(1, 0, obj, 3),
+		belief(2, 1, obj, 4),
+	})
+	c := m[obj]
+	if c.Converged {
+		t.Fatal("split beliefs reported converged")
+	}
+	if c.Time() != 0 {
+		t.Errorf("unconverged Time() = %d, want 0", c.Time())
+	}
+	if c.FinalLoc != ids.None || c.Believers != 0 {
+		t.Errorf("unconverged FinalLoc=%v Believers=%d", c.FinalLoc, c.Believers)
+	}
+}
+
+func TestConvergenceTimesInvalidateAndHit(t *testing.T) {
+	obj := ids.ObjectID(1)
+	hit := Event{Seq: 3, Kind: KindHit, Node: 2, Obj: obj, To: ids.None, Loc: 2}
+	inv := Event{Seq: 4, Kind: KindInvalidate, Node: 0, Obj: obj, To: ids.None, Loc: ids.None}
+	m := ConvergenceTimes([]Event{
+		belief(1, 0, obj, 3),
+		belief(2, 1, obj, 2), // split: 0 believes 3, 1 believes 2
+		hit,                  // proxy 2 believes itself (2); still split
+		inv,                  // invalidate removes 0's belief → uniform on 2
+	})
+	c := m[obj]
+	if !c.Converged {
+		t.Fatal("post-invalidate agreement not converged")
+	}
+	if c.FinalLoc != 2 || c.Believers != 2 {
+		t.Errorf("FinalLoc=%v Believers=%d, want 2,2", c.FinalLoc, c.Believers)
+	}
+	if c.StableFrom != 4 {
+		t.Errorf("StableFrom = %d, want 4", c.StableFrom)
+	}
+}
+
+func TestConvergenceTimesIgnoresLoclessBackward(t *testing.T) {
+	obj := ids.ObjectID(1)
+	m := ConvergenceTimes([]Event{
+		{Seq: 1, Kind: KindBackward, Node: 0, Obj: obj, To: 0, Loc: ids.None},
+	})
+	if len(m) != 0 {
+		t.Errorf("loc-less backward created %d convergence entries", len(m))
+	}
+}
+
+func TestSummarizeConvergence(t *testing.T) {
+	m := map[ids.ObjectID]*Convergence{
+		1: {Obj: 1, Converged: true, FirstSeen: 10, StableFrom: 30}, // time 20
+		2: {Obj: 2, Converged: true, FirstSeen: 5, StableFrom: 105}, // time 100
+		3: {Obj: 3, Converged: false},
+	}
+	s := SummarizeConvergence(m)
+	if s.Objects != 3 || s.Converged != 2 || s.Unconverged != 1 {
+		t.Errorf("census = %+v", s)
+	}
+	if s.MeanTime != 60 {
+		t.Errorf("MeanTime = %v, want 60", s.MeanTime)
+	}
+	if s.MaxTime != 100 {
+		t.Errorf("MaxTime = %v, want 100", s.MaxTime)
+	}
+	empty := SummarizeConvergence(nil)
+	if empty.Objects != 0 || empty.MeanTime != 0 {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

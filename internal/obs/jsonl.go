@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// wireEvent is the JSONL schema, one object per line. Node references are
+// raw NodeID values (-1 None, -2 origin, <= -10 clients); kind is the
+// stable string name. All fields are emitted — "to":-1 is meaningfully
+// different from "to":0 (Proxy[0]), so nothing is omitempty'd away.
+type wireEvent struct {
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at"`
+	Kind string `json:"kind"`
+	Node int32  `json:"node"`
+	Req  uint64 `json:"req"`
+	Obj  uint64 `json:"obj"`
+	To   int32  `json:"to"`
+	Loc  int32  `json:"loc"`
+	Prev uint64 `json:"prev"`
+	Hops int32  `json:"hops"`
+	Arg  int64  `json:"arg"`
+}
+
+func toWire(e Event) wireEvent {
+	return wireEvent{
+		Seq: e.Seq, At: e.At, Kind: e.Kind.String(),
+		Node: int32(e.Node), Req: uint64(e.Req), Obj: uint64(e.Obj),
+		To: int32(e.To), Loc: int32(e.Loc), Prev: uint64(e.Prev),
+		Hops: e.Hops, Arg: e.Arg,
+	}
+}
+
+func fromWire(w wireEvent) (Event, error) {
+	k, ok := ParseKind(w.Kind)
+	if !ok {
+		return Event{}, fmt.Errorf("unknown event kind %q", w.Kind)
+	}
+	return Event{
+		Seq: w.Seq, At: w.At, Kind: k,
+		Node: ids.NodeID(w.Node), Req: ids.RequestID(w.Req),
+		Obj: ids.ObjectID(w.Obj), To: ids.NodeID(w.To),
+		Loc: ids.NodeID(w.Loc), Prev: ids.RequestID(w.Prev),
+		Hops: w.Hops, Arg: w.Arg,
+	}, nil
+}
+
+// WriteJSONL writes events as JSON Lines, one event per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		if err := enc.Encode(toWire(e)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSON Lines trace back into events. Blank lines are
+// skipped; any malformed line is an error naming its line number.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var w wireEvent
+		if err := json.Unmarshal(b, &w); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		e, err := fromWire(w)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Validate checks a trace against the event schema: sequence numbers must
+// be strictly increasing, kinds known, and each kind must carry the fields
+// its semantics require (forwards a destination, retries a predecessor,
+// hits a location, …). It returns the first violation.
+func Validate(events []Event) error {
+	var lastSeq uint64
+	for i, e := range events {
+		where := func(msg string, args ...any) error {
+			return fmt.Errorf("event %d (seq %d, %s): %s", i, e.Seq, e.Kind, fmt.Sprintf(msg, args...))
+		}
+		if int(e.Kind) >= int(numKinds) {
+			return fmt.Errorf("event %d: unknown kind %d", i, int(e.Kind))
+		}
+		if e.Seq <= lastSeq {
+			return where("sequence not strictly increasing (prev %d)", lastSeq)
+		}
+		lastSeq = e.Seq
+		switch e.Kind {
+		case KindInject, KindRetry:
+			if e.Req == 0 {
+				return where("missing request id")
+			}
+			if !e.Node.IsClient() {
+				return where("emitter %v is not a client", e.Node)
+			}
+			if e.Kind == KindRetry && e.Prev == 0 {
+				return where("retry without superseded attempt id")
+			}
+		case KindForward:
+			if e.To == ids.None {
+				return where("forward without destination")
+			}
+			if e.Req == 0 {
+				return where("missing request id")
+			}
+		case KindHit:
+			if e.Loc == ids.None {
+				return where("hit without location")
+			}
+		case KindBackward:
+			if e.To == ids.None {
+				return where("backward without next destination")
+			}
+		case KindDeliver:
+			if !e.Node.IsClient() {
+				return where("delivery at %v, not a client", e.Node)
+			}
+		case KindDrop:
+			if e.To == ids.None {
+				return where("drop without destination")
+			}
+		case KindTimeout, KindAbandon, KindStaleReply:
+			if e.Req == 0 {
+				return where("missing request id")
+			}
+		case KindExpire, KindInvalidate, KindOriginResolve:
+			// Node-local housekeeping; no required references beyond Node.
+		}
+	}
+	return nil
+}

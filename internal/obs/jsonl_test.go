@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+func TestJSONLRoundTrip(t *testing.T) {
+	in := []Event{
+		{Seq: 1, Kind: KindInject, Node: ids.Client(0), Req: ids.NewRequestID(0, 1), Obj: 42, To: 0, Loc: ids.None},
+		{Seq: 2, At: 17, Kind: KindForward, Node: 0, Req: ids.NewRequestID(0, 1), Obj: 42, To: 3, Loc: ids.None, Hops: 1, Arg: ReasonRandom},
+		{Seq: 3, Kind: KindBackward, Node: 3, Req: ids.NewRequestID(0, 1), Obj: 42, To: 0, Loc: 3, Arg: EncodeOutcome(0, 1, true, false, false)},
+		{Seq: 4, Kind: KindRetry, Node: ids.Client(0), Req: ids.NewRequestID(0, 2), Prev: ids.NewRequestID(0, 1), Obj: 42, To: 0, Loc: ids.None, Arg: 1},
+		{Seq: 5, Kind: KindDeliver, Node: ids.Client(0), Req: ids.NewRequestID(0, 2), Obj: 42, To: ids.None, Loc: ids.Origin, Hops: 2, Arg: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("read back %d events, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("event %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	src := `{"seq":1,"at":0,"kind":"inject","node":-10,"req":1,"obj":1,"to":0,"loc":-1,"prev":0,"hops":0,"arg":0}
+
+{"seq":2,"at":0,"kind":"deliver","node":-10,"req":1,"obj":1,"to":-1,"loc":0,"prev":0,"hops":1,"arg":0}
+`
+	out, err := ReadJSONL(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d events, want 2", len(out))
+	}
+}
+
+func TestReadJSONLRejectsMalformedLines(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"bad json", "{not json}\n", "trace line 1"},
+		{"unknown kind", `{"seq":1,"kind":"teleport"}` + "\n", `unknown event kind "teleport"`},
+		{"names line", "{\"seq\":1,\"kind\":\"inject\"}\n{broken\n", "trace line 2"},
+	}
+	for _, c := range cases {
+		_, err := ReadJSONL(strings.NewReader(c.src))
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	client := ids.Client(0)
+	req := ids.NewRequestID(0, 1)
+	good := []Event{
+		{Seq: 1, Kind: KindInject, Node: client, Req: req, Obj: 1, To: 0, Loc: ids.None},
+		{Seq: 2, Kind: KindForward, Node: 0, Req: req, Obj: 1, To: 1, Loc: ids.None, Hops: 1},
+		{Seq: 3, Kind: KindHit, Node: 1, Req: req, Obj: 1, To: ids.None, Loc: 1},
+		{Seq: 4, Kind: KindBackward, Node: 1, Req: req, Obj: 1, To: 0, Loc: 1},
+		{Seq: 5, Kind: KindDeliver, Node: client, Req: req, Obj: 1, To: ids.None, Loc: 1},
+	}
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+
+	bad := []struct {
+		name    string
+		mutate  func([]Event)
+		wantErr string
+	}{
+		{"non-increasing seq", func(ev []Event) { ev[1].Seq = 1 }, "not strictly increasing"},
+		{"forward without dest", func(ev []Event) { ev[1].To = ids.None }, "forward without destination"},
+		{"hit without location", func(ev []Event) { ev[2].Loc = ids.None }, "hit without location"},
+		{"backward without dest", func(ev []Event) { ev[3].To = ids.None }, "backward without next destination"},
+		{"inject from non-client", func(ev []Event) { ev[0].Node = 2 }, "not a client"},
+		{"deliver at non-client", func(ev []Event) { ev[4].Node = 2 }, "not a client"},
+		{"unknown kind", func(ev []Event) { ev[0].Kind = 200 }, "unknown kind"},
+	}
+	for _, c := range bad {
+		ev := make([]Event, len(good))
+		copy(ev, good)
+		c.mutate(ev)
+		err := Validate(ev)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantErr)
+		}
+	}
+
+	retryNoPrev := []Event{{Seq: 1, Kind: KindRetry, Node: client, Req: req, To: 0, Loc: ids.None}}
+	if err := Validate(retryNoPrev); err == nil || !strings.Contains(err.Error(), "without superseded") {
+		t.Errorf("retry without prev: err = %v", err)
+	}
+	dropNoDest := []Event{{Seq: 1, Kind: KindDrop, Node: 0, Req: req, To: ids.None, Loc: ids.None}}
+	if err := Validate(dropNoDest); err == nil || !strings.Contains(err.Error(), "drop without destination") {
+		t.Errorf("drop without dest: err = %v", err)
+	}
+}

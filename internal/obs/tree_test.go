@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// emit appends events through a tracer so Seq assignment matches production.
+func emit(tr *Tracer, evs ...Event) {
+	for _, e := range evs {
+		tr.Emit(e)
+	}
+}
+
+func fwd(node, to ids.NodeID, req ids.RequestID, obj ids.ObjectID, reason int64, hops int32) Event {
+	e := Ev(KindForward, node)
+	e.Req, e.Obj, e.To, e.Arg, e.Hops = req, obj, to, reason, hops
+	return e
+}
+
+func TestBuildTreesSingleDeliveredRequest(t *testing.T) {
+	client := ids.Client(0)
+	req := ids.NewRequestID(0, 1)
+	obj := ids.ObjectID(42)
+	tr := New()
+
+	inject := Ev(KindInject, client)
+	inject.Req, inject.Obj, inject.To = req, obj, 0
+	hit := Ev(KindHit, 1)
+	hit.Req, hit.Obj, hit.Loc = req, obj, 1
+	back := Ev(KindBackward, 1)
+	back.Req, back.Obj, back.To, back.Loc = req, obj, 0, 1
+	deliver := Ev(KindDeliver, client)
+	deliver.Req, deliver.Obj, deliver.Loc = req, obj, 1
+	emit(tr, inject, fwd(0, 1, req, obj, ReasonLearned, 1), hit, back, deliver)
+
+	trees := BuildTrees(tr.Events())
+	if len(trees) != 1 {
+		t.Fatalf("%d trees, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.Orphan {
+		t.Error("tree marked orphan despite inject")
+	}
+	if !tree.Delivered() {
+		t.Error("tree not delivered")
+	}
+	if tree.Obj != obj || tree.Client != client {
+		t.Errorf("tree identity = obj %v client %v, want %v/%v", tree.Obj, tree.Client, obj, client)
+	}
+	if len(tree.Attempts) != 1 {
+		t.Fatalf("%d attempts, want 1", len(tree.Attempts))
+	}
+	if got := len(tree.Attempts[0].Events); got != 5 {
+		t.Errorf("attempt holds %d events, want 5", got)
+	}
+	if TreeFor(trees, req) != tree {
+		t.Error("TreeFor(req) did not find the tree")
+	}
+	if TreeFor(trees, ids.NewRequestID(0, 99)) != nil {
+		t.Error("TreeFor found a tree for an unknown id")
+	}
+}
+
+// TestBuildTreesRetransmissionIsOneTree is the recovery-protocol contract:
+// a dropped-then-retransmitted request must reconstruct as ONE tree with two
+// attempts linked by Retry.Prev — never as two orphan fragments.
+func TestBuildTreesRetransmissionIsOneTree(t *testing.T) {
+	client := ids.Client(0)
+	first := ids.NewRequestID(0, 1)
+	second := ids.NewRequestID(0, 2)
+	obj := ids.ObjectID(7)
+	tr := New()
+
+	inject := Ev(KindInject, client)
+	inject.Req, inject.Obj, inject.To = first, obj, 0
+	drop := Ev(KindDrop, 0)
+	drop.Req, drop.Obj, drop.To, drop.Arg = first, obj, 1, DropLoss
+	timeout := Ev(KindTimeout, client)
+	timeout.Req, timeout.Obj = first, obj
+	retry := Ev(KindRetry, client)
+	retry.Req, retry.Obj, retry.To, retry.Prev, retry.Arg = second, obj, 0, first, 1
+	origin := Ev(KindOriginResolve, ids.Origin)
+	origin.Req, origin.Obj = second, obj
+	deliver := Ev(KindDeliver, client)
+	deliver.Req, deliver.Obj, deliver.Loc, deliver.Arg = second, obj, ids.Origin, 1
+	emit(tr, inject, fwd(0, 1, first, obj, ReasonRandom, 1), drop, timeout,
+		retry, fwd(0, 1, second, obj, ReasonRandom, 1), origin, deliver)
+
+	trees := BuildTrees(tr.Events())
+	if len(trees) != 1 {
+		t.Fatalf("%d trees, want 1 (retransmission split into orphans?)", len(trees))
+	}
+	tree := trees[0]
+	if tree.Orphan {
+		t.Error("linked retransmission marked orphan")
+	}
+	if len(tree.Attempts) != 2 {
+		t.Fatalf("%d attempts, want 2", len(tree.Attempts))
+	}
+	a1, a2 := tree.Attempts[0], tree.Attempts[1]
+	if a1.ID != first || a2.ID != second {
+		t.Errorf("attempt order %v,%v, want %v,%v", a1.ID, a2.ID, first, second)
+	}
+	if !a1.TimedOut || a1.Delivered {
+		t.Errorf("attempt 1 state %+v, want timed out and undelivered", a1)
+	}
+	if !a2.Delivered {
+		t.Errorf("attempt 2 state %+v, want delivered", a2)
+	}
+	if !tree.Delivered() {
+		t.Error("tree not delivered despite successful retry")
+	}
+	// Both attempt IDs resolve to the same tree.
+	if TreeFor(trees, first) != tree || TreeFor(trees, second) != tree {
+		t.Error("attempt IDs resolve to different trees")
+	}
+
+	var sb strings.Builder
+	FormatTree(&sb, tree)
+	out := sb.String()
+	for _, want := range []string{"attempt 1", "attempt 2", "[timed out]", "[delivered]", "retry #1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatTree output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildTreesOrphans(t *testing.T) {
+	obj := ids.ObjectID(3)
+	tr := New()
+
+	// A retry whose predecessor never appeared: orphan tree.
+	ghostPrev := ids.NewRequestID(1, 50)
+	retryReq := ids.NewRequestID(1, 51)
+	retry := Ev(KindRetry, ids.Client(1))
+	retry.Req, retry.Obj, retry.To, retry.Prev, retry.Arg = retryReq, obj, 0, ghostPrev, 1
+
+	// A forward with no inject (trace started mid-flight): orphan tree.
+	midReq := ids.NewRequestID(2, 9)
+	emit(tr, retry, fwd(0, 1, midReq, obj, ReasonRandom, 1))
+
+	trees := BuildTrees(tr.Events())
+	if len(trees) != 2 {
+		t.Fatalf("%d trees, want 2", len(trees))
+	}
+	for i, tree := range trees {
+		if !tree.Orphan {
+			t.Errorf("tree %d not marked orphan", i)
+		}
+	}
+	// Orphans still recover the client from the RequestID.
+	if got := TreeFor(trees, retryReq).Client; got != ids.Client(1) {
+		t.Errorf("orphan retry client = %v, want %v", got, ids.Client(1))
+	}
+	if got := TreeFor(trees, midReq).Client; got != ids.Client(2) {
+		t.Errorf("mid-flight orphan client = %v, want %v", got, ids.Client(2))
+	}
+}
+
+func TestBuildTreesIgnoresRequestlessEvents(t *testing.T) {
+	inv := Ev(KindInvalidate, 2)
+	inv.Obj = 5
+	inv.Seq = 1
+	if got := BuildTrees([]Event{inv}); len(got) != 0 {
+		t.Fatalf("request-less event produced %d trees", len(got))
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/obs"
 	"github.com/adc-sim/adc/internal/sim"
 )
 
@@ -97,6 +98,10 @@ type ADC struct {
 	sweepArmed bool
 
 	stats metrics.ProxyStats
+
+	// tracer is the optional request tracer (nil = off; every guard is a
+	// single branch on the hot path).
+	tracer *obs.Tracer
 }
 
 var (
@@ -154,6 +159,9 @@ func (p *ADC) AddPeer(id ids.NodeID) {
 // Tables exposes the mapping tables for dumps, tests and metrics.
 func (p *ADC) Tables() *core.Tables { return p.tables }
 
+// SetTracer installs the request tracer (before the run starts).
+func (p *ADC) SetTracer(t *obs.Tracer) { p.tracer = t }
+
 // Stats returns a snapshot of the proxy's counters.
 func (p *ADC) Stats() metrics.ProxyStats { return p.stats }
 
@@ -204,7 +212,18 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 		// Local hit: update the entry to point at ourselves and
 		// start backwarding immediately.
 		p.stats.LocalHits++
-		p.recordOutcome(p.tables.Update(req.Object, p.id, p.localTime))
+		out := p.tables.Update(req.Object, p.id, p.localTime)
+		if p.tracer.Enabled(obs.KindHit) {
+			e := obs.Ev(obs.KindHit, p.id)
+			e.At = sim.TraceNow(ctx)
+			e.Req = req.ID
+			e.Obj = req.Object
+			e.Loc = p.id
+			e.Hops = int32(req.Hops)
+			e.Arg = encodeOutcome(out)
+			p.tracer.Emit(e)
+		}
+		p.recordOutcome(out)
 		rep := sim.Resolve(ctx, req)
 		rep.Resolver = p.id
 		rep.Cached = true
@@ -224,14 +243,24 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 
 	to := ids.Origin
 	learned := ids.None
+	reason := obs.ReasonMaxHops
 	if looped || atMax {
 		if looped {
 			p.stats.LoopsDetected++
+			reason = obs.ReasonLoop
 		}
 		p.stats.ForwardOrigin++
 	} else {
 		var viaTable bool
 		to, viaTable = p.forwardAddr(req.Object)
+		switch {
+		case viaTable && to == ids.Origin:
+			reason = obs.ReasonSelfOrigin
+		case viaTable:
+			reason = obs.ReasonLearned
+		default:
+			reason = obs.ReasonRandom
+		}
 		if viaTable && to != ids.Origin {
 			learned = to
 		}
@@ -249,6 +278,16 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 	p.pending[req.ID] = pass
 
 	req.To = to
+	if p.tracer.Enabled(obs.KindForward) {
+		e := obs.Ev(obs.KindForward, p.id)
+		e.At = sim.TraceNow(ctx)
+		e.Req = req.ID
+		e.Obj = req.Object
+		e.To = to
+		e.Hops = int32(req.Hops)
+		e.Arg = reason
+		p.tracer.Emit(e)
+	}
 	ctx.Send(req)
 }
 
@@ -296,7 +335,9 @@ func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	// Learn the agreed location; this may promote the entry through the
 	// tables and into the cache (the object's data is passing by right
 	// now, so caching is possible exactly here).
-	p.recordOutcome(p.tables.Update(rep.Object, rep.Resolver, p.localTime))
+	learned := rep.Resolver
+	out := p.tables.Update(rep.Object, rep.Resolver, p.localTime)
+	p.recordOutcome(out)
 
 	// "This focus on only one caching location is necessary to allow
 	// the system to agree faster on one location" (§IV.2): the first
@@ -318,6 +359,20 @@ func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
 
 	next, _ := rep.NextBackward()
 	rep.To = next
+	if p.tracer.Enabled(obs.KindBackward) {
+		// Loc is the location Update learned into the tables (the
+		// resolver as received, post origin-claim), which is what the
+		// convergence analysis models as this proxy's belief.
+		e := obs.Ev(obs.KindBackward, p.id)
+		e.At = sim.TraceNow(ctx)
+		e.Req = rep.ID
+		e.Obj = rep.Object
+		e.To = next
+		e.Loc = learned
+		e.Hops = int32(rep.Hops)
+		e.Arg = encodeOutcome(out)
+		p.tracer.Emit(e)
+	}
 	ctx.Send(rep)
 }
 
@@ -376,10 +431,26 @@ func (p *ADC) expirePending(now int64) {
 		}
 		delete(p.pending, rec.id)
 		p.stats.ExpiredPending += uint64(pass.count)
+		if p.tracer.Enabled(obs.KindExpire) {
+			e := obs.Ev(obs.KindExpire, p.id)
+			e.At = now
+			e.Req = rec.id
+			e.Obj = pass.obj
+			e.Arg = int64(pass.count)
+			p.tracer.Emit(e)
+		}
 		if pass.learned != ids.None && pass.learned != p.id {
 			if loc, has := p.tables.ForwardLocation(pass.obj); has && loc == pass.learned {
 				if p.tables.Invalidate(pass.obj) {
 					p.stats.StaleInvalidated++
+					if p.tracer.Enabled(obs.KindInvalidate) {
+						e := obs.Ev(obs.KindInvalidate, p.id)
+						e.At = now
+						e.Req = rec.id
+						e.Obj = pass.obj
+						e.Loc = pass.learned
+						p.tracer.Emit(e)
+					}
 				}
 			}
 		}
@@ -395,6 +466,12 @@ func (p *ADC) popExpiry() {
 		p.expiryQ = p.expiryQ[:n]
 		p.expiryHead = 0
 	}
+}
+
+// encodeOutcome packs a table-update outcome into a trace-event Arg.
+func encodeOutcome(out core.Outcome) int64 {
+	return obs.EncodeOutcome(int(out.From), int(out.To),
+		out.CacheEvicted != nil, out.MultipleEvicted != nil, out.Dropped != nil)
 }
 
 func (p *ADC) recordOutcome(out core.Outcome) {

@@ -7,6 +7,7 @@ import (
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/obs"
 	"github.com/adc-sim/adc/internal/workload"
 )
 
@@ -95,6 +96,11 @@ type Client struct {
 	// onDone, when set, fires once after the last reply is recorded;
 	// concurrent runtimes use it to know when to shut down.
 	onDone func()
+
+	// tracer and ts are the optional observability hooks; both nil in the
+	// default configuration, where every guard is a single branch.
+	tracer *obs.Tracer
+	ts     *metrics.TimeSeries
 }
 
 var (
@@ -174,6 +180,13 @@ func (c *Client) AddProxy(id ids.NodeID) {
 // Collector returns the metrics sink.
 func (c *Client) Collector() *metrics.Collector { return c.collector }
 
+// SetTracer installs the request tracer (before the run starts).
+func (c *Client) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// SetTimeSeries installs the shared time-series recorder (before the run
+// starts; virtual-time engine only).
+func (c *Client) SetTimeSeries(ts *metrics.TimeSeries) { c.ts = ts }
+
 // Done reports whether the trace is exhausted and the last reply recorded.
 func (c *Client) Done() bool { return c.done }
 
@@ -202,6 +215,13 @@ func (c *Client) handleReply(ctx Context, rep *msg.Reply) {
 		// A duplicate from a retransmitted chain (the original and the
 		// retry both completed), or a reply racing its own abandonment:
 		// already recorded once, so only recycle it.
+		if c.tracer.Enabled(obs.KindStaleReply) {
+			e := obs.Ev(obs.KindStaleReply, c.id)
+			e.At = traceNow(ctx)
+			e.Req = rep.ID
+			e.Obj = rep.Object
+			c.tracer.Emit(e)
+		}
 		c.collector.RecordStaleReply()
 		Finish(ctx, rep)
 		return
@@ -210,6 +230,21 @@ func (c *Client) handleReply(ctx Context, rep *msg.Reply) {
 	c.collector.Record(!rep.FromOrigin, rep.Hops, rep.PathLen)
 	if clk, ok := ctx.(Clock); ok {
 		c.collector.RecordResponse(clk.VNow() - c.sentAt)
+	}
+	if c.tracer.Enabled(obs.KindDeliver) {
+		e := obs.Ev(obs.KindDeliver, c.id)
+		e.At = traceNow(ctx)
+		e.Req = rep.ID
+		e.Obj = rep.Object
+		e.Loc = rep.Resolver
+		e.Hops = int32(rep.Hops)
+		if rep.FromOrigin {
+			e.Arg = 1
+		}
+		c.tracer.Emit(e)
+	}
+	if c.ts != nil {
+		c.ts.Complete(traceNow(ctx), !rep.FromOrigin, int32(rep.Hops))
 	}
 	Finish(ctx, rep) // terminal delivery: the reply recycles
 	c.sendNext(ctx)
@@ -224,15 +259,33 @@ func (c *Client) handleTimeout(ctx Context, t *retryTimer) {
 		return
 	}
 	c.collector.RecordTimeout()
+	if c.tracer.Enabled(obs.KindTimeout) {
+		e := obs.Ev(obs.KindTimeout, c.id)
+		e.At = traceNow(ctx)
+		e.Req = c.curID
+		e.Obj = c.curObj
+		c.tracer.Emit(e)
+	}
+	c.ts.Timeout(traceNow(ctx))
 	if c.retries >= c.recovery.MaxRetries {
 		// Permanently stranded: give up so the closed loop keeps moving.
 		c.collector.RecordAbandoned()
+		if c.tracer.Enabled(obs.KindAbandon) {
+			e := obs.Ev(obs.KindAbandon, c.id)
+			e.At = traceNow(ctx)
+			e.Req = c.curID
+			e.Obj = c.curObj
+			e.Arg = int64(c.retries)
+			c.tracer.Emit(e)
+		}
+		c.ts.Abandon(traceNow(ctx))
 		c.curID = 0
 		c.sendNext(ctx)
 		return
 	}
 	c.retries++
 	c.collector.RecordRetry()
+	c.ts.Retry(traceNow(ctx))
 	c.curTimeout = int64(float64(c.curTimeout) * c.recovery.Backoff)
 	c.send(ctx)
 }
@@ -255,12 +308,16 @@ func (c *Client) sendNext(ctx Context) {
 	if clk, ok := ctx.(Clock); ok {
 		c.sentAt = clk.VNow()
 	}
+	if c.ts != nil {
+		c.ts.Inject(c.sentAt)
+	}
 	c.send(ctx)
 }
 
 // send issues one attempt (first or retransmission) for the current
 // logical request and arms its timeout.
 func (c *Client) send(ctx Context) {
+	prev := c.curID
 	c.counter++
 	c.curID = ids.NewRequestID(c.id.ClientIndex(), c.counter)
 	req := NewRequest(ctx)
@@ -270,6 +327,25 @@ func (c *Client) send(ctx Context) {
 	req.Client = c.id
 	req.Sender = c.id
 	req.MaxHops = c.maxHops
+	if c.tracer != nil {
+		// First attempt of a logical request injects; retransmissions
+		// link back to the attempt they supersede so the trace tooling
+		// can keep the whole chain in one request tree.
+		kind := obs.KindInject
+		if c.retries > 0 {
+			kind = obs.KindRetry
+		}
+		if c.tracer.Enabled(kind) {
+			e := obs.Ev(kind, c.id)
+			e.At = traceNow(ctx)
+			e.Req = c.curID
+			e.Obj = c.curObj
+			e.To = req.To
+			e.Prev = prev
+			e.Arg = int64(c.retries)
+			c.tracer.Emit(e)
+		}
+	}
 	ctx.Send(req)
 	if c.recovery.Enabled {
 		if sched, ok := ctx.(Scheduler); ok {

@@ -8,6 +8,7 @@ import (
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/obs"
 	"github.com/adc-sim/adc/internal/workload"
 )
 
@@ -49,6 +50,10 @@ type OpenLoopClient struct {
 	exhausted   bool
 	done        bool
 	onDone      func()
+
+	// tracer and ts are the optional observability hooks (nil = off).
+	tracer *obs.Tracer
+	ts     *metrics.TimeSeries
 }
 
 // openReq is the book-keeping for one in-flight open-loop request.
@@ -137,6 +142,13 @@ func (c *OpenLoopClient) Done() bool { return c.done }
 // SetOnDone installs the completion callback before the run starts.
 func (c *OpenLoopClient) SetOnDone(fn func()) { c.onDone = fn }
 
+// SetTracer installs the request tracer (before the run starts).
+func (c *OpenLoopClient) SetTracer(t *obs.Tracer) { c.tracer = t }
+
+// SetTimeSeries installs the shared time-series recorder (before the run
+// starts).
+func (c *OpenLoopClient) SetTimeSeries(ts *metrics.TimeSeries) { c.ts = ts }
+
 // Outstanding returns the number of in-flight requests (test support).
 func (c *OpenLoopClient) Outstanding() int { return len(c.outstanding) }
 
@@ -180,6 +192,7 @@ func (c *OpenLoopClient) inject(ctx Context) {
 	id := ids.NewRequestID(c.id.ClientIndex(), c.counter)
 	c.outstanding[id] = openReq{sentAt: clk.VNow(), obj: obj, timeout: c.recovery.Timeout}
 	c.injected++
+	c.ts.Inject(clk.VNow())
 	req := NewRequest(ctx)
 	req.To = c.pickEntry()
 	req.ID = id
@@ -187,6 +200,14 @@ func (c *OpenLoopClient) inject(ctx Context) {
 	req.Client = c.id
 	req.Sender = c.id
 	req.MaxHops = c.maxHops
+	if c.tracer.Enabled(obs.KindInject) {
+		e := obs.Ev(obs.KindInject, c.id)
+		e.At = clk.VNow()
+		e.Req = id
+		e.Obj = obj
+		e.To = req.To
+		c.tracer.Emit(e)
+	}
 	ctx.Send(req)
 	if c.recovery.Enabled {
 		ctx.(Scheduler).After(c.recovery.Timeout, &retryTimer{to: c.id, id: id})
@@ -200,6 +221,13 @@ func (c *OpenLoopClient) complete(ctx Context, rep *msg.Reply) {
 			// Duplicate from a retransmitted chain, or a reply racing
 			// its own timeout: the request was already completed or
 			// superseded, so only recycle.
+			if c.tracer.Enabled(obs.KindStaleReply) {
+				e := obs.Ev(obs.KindStaleReply, c.id)
+				e.At = traceNow(ctx)
+				e.Req = rep.ID
+				e.Obj = rep.Object
+				c.tracer.Emit(e)
+			}
 			c.collector.RecordStaleReply()
 			Finish(ctx, rep)
 			return
@@ -211,6 +239,21 @@ func (c *OpenLoopClient) complete(ctx Context, rep *msg.Reply) {
 			c.collector.RecordResponse(clk.VNow() - r.sentAt)
 		}
 		delete(c.outstanding, rep.ID)
+	}
+	if c.tracer.Enabled(obs.KindDeliver) {
+		e := obs.Ev(obs.KindDeliver, c.id)
+		e.At = traceNow(ctx)
+		e.Req = rep.ID
+		e.Obj = rep.Object
+		e.Loc = rep.Resolver
+		e.Hops = int32(rep.Hops)
+		if rep.FromOrigin {
+			e.Arg = 1
+		}
+		c.tracer.Emit(e)
+	}
+	if c.ts != nil {
+		c.ts.Complete(traceNow(ctx), !rep.FromOrigin, int32(rep.Hops))
 	}
 	Finish(ctx, rep) // terminal delivery: the reply recycles
 	c.maybeFinish()
@@ -229,13 +272,31 @@ func (c *OpenLoopClient) handleTimeout(ctx Context, t *retryTimer) {
 		return // answered or superseded
 	}
 	c.collector.RecordTimeout()
+	if c.tracer.Enabled(obs.KindTimeout) {
+		e := obs.Ev(obs.KindTimeout, c.id)
+		e.At = traceNow(ctx)
+		e.Req = t.id
+		e.Obj = r.obj
+		c.tracer.Emit(e)
+	}
+	c.ts.Timeout(traceNow(ctx))
 	delete(c.outstanding, t.id)
 	if r.retries >= c.recovery.MaxRetries {
 		c.collector.RecordAbandoned()
+		if c.tracer.Enabled(obs.KindAbandon) {
+			e := obs.Ev(obs.KindAbandon, c.id)
+			e.At = traceNow(ctx)
+			e.Req = t.id
+			e.Obj = r.obj
+			e.Arg = int64(r.retries)
+			c.tracer.Emit(e)
+		}
+		c.ts.Abandon(traceNow(ctx))
 		c.maybeFinish()
 		return
 	}
 	c.collector.RecordRetry()
+	c.ts.Retry(traceNow(ctx))
 	c.counter++
 	id := ids.NewRequestID(c.id.ClientIndex(), c.counter)
 	r.retries++
@@ -248,6 +309,16 @@ func (c *OpenLoopClient) handleTimeout(ctx Context, t *retryTimer) {
 	req.Client = c.id
 	req.Sender = c.id
 	req.MaxHops = c.maxHops
+	if c.tracer.Enabled(obs.KindRetry) {
+		e := obs.Ev(obs.KindRetry, c.id)
+		e.At = traceNow(ctx)
+		e.Req = id
+		e.Obj = r.obj
+		e.To = req.To
+		e.Prev = t.id
+		e.Arg = int64(r.retries)
+		c.tracer.Emit(e)
+	}
 	ctx.Send(req)
 	ctx.(Scheduler).After(r.timeout, &retryTimer{to: c.id, id: id})
 }

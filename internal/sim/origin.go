@@ -3,6 +3,7 @@ package sim
 import (
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/obs"
 )
 
 // Origin is the origin server: it resolves every request addressed to it
@@ -14,6 +15,8 @@ type Origin struct {
 	// resolved counts requests the origin had to answer (cluster-level
 	// miss counter, cross-checked against client-side accounting).
 	resolved uint64
+
+	tracer *obs.Tracer
 }
 
 var _ Node = (*Origin)(nil)
@@ -27,6 +30,9 @@ func (o *Origin) ID() ids.NodeID { return ids.Origin }
 // Resolved returns how many requests the origin answered.
 func (o *Origin) Resolved() uint64 { return o.resolved }
 
+// SetTracer installs the request tracer (before the run starts).
+func (o *Origin) SetTracer(t *obs.Tracer) { o.tracer = t }
+
 // Handle implements Node.
 func (o *Origin) Handle(ctx Context, m msg.Message) {
 	req, ok := m.(*msg.Request)
@@ -35,6 +41,14 @@ func (o *Origin) Handle(ctx Context, m msg.Message) {
 		return
 	}
 	o.resolved++
+	if o.tracer.Enabled(obs.KindOriginResolve) {
+		e := obs.Ev(obs.KindOriginResolve, ids.Origin)
+		e.At = traceNow(ctx)
+		e.Req = req.ID
+		e.Obj = req.Object
+		e.Hops = int32(req.Hops)
+		o.tracer.Emit(e)
+	}
 	rep := Resolve(ctx, req)
 	rep.FromOrigin = true
 	// Resolver stays None: "a NULL value stays for the data from the

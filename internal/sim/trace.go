@@ -1,0 +1,15 @@
+package sim
+
+// traceNow returns the context's virtual time for trace timestamps, or 0
+// when the engine has no clock (sequential traces order by sequence
+// number instead).
+func traceNow(ctx Context) int64 {
+	if clk, ok := ctx.(Clock); ok {
+		return clk.VNow()
+	}
+	return 0
+}
+
+// TraceNow is traceNow for sibling packages (proxy, carp) that emit trace
+// events with a sim.Context in hand.
+func TraceNow(ctx Context) int64 { return traceNow(ctx) }

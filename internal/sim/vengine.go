@@ -4,7 +4,9 @@ import (
 	"fmt"
 
 	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/obs"
 )
 
 // LatencyModel assigns a virtual-time cost to every message transfer. The
@@ -101,6 +103,13 @@ type VEngine struct {
 
 	delivered uint64
 	dropped   uint64
+
+	// tracer records drop events (the engine is the only layer that sees
+	// a message die); ts feeds the drop counter of the time-series
+	// recorder. Both nil by default: one branch each on the drop paths,
+	// nothing on the delivery path.
+	tracer *obs.Tracer
+	ts     *metrics.TimeSeries
 }
 
 // SetDropFilter installs a deterministic loss model: any Send for which fn
@@ -109,6 +118,39 @@ type VEngine struct {
 // message strands its request chain — which is exactly what the fault-
 // injection tests demonstrate.
 func (e *VEngine) SetDropFilter(fn func(m msg.Message) bool) { e.drop = fn }
+
+// SetTracer installs the request tracer (before Run). The engine itself
+// only emits drop events; the protocol steps are traced by the nodes.
+func (e *VEngine) SetTracer(t *obs.Tracer) { e.tracer = t }
+
+// SetTimeSeries installs the time-series recorder the engine feeds drop
+// counts into (before Run).
+func (e *VEngine) SetTimeSeries(ts *metrics.TimeSeries) { e.ts = ts }
+
+// traceDrop records the death of an in-flight protocol message. Timer
+// messages (retry timers, sweep ticks) are not protocol steps and are
+// skipped.
+func (e *VEngine) traceDrop(sender ids.NodeID, m msg.Message, cause int64) {
+	if e.ts != nil {
+		e.ts.Drop(e.now)
+	}
+	if !e.tracer.Enabled(obs.KindDrop) {
+		return
+	}
+	ev := obs.Ev(obs.KindDrop, sender)
+	ev.At = e.now
+	ev.To = m.Dest()
+	ev.Arg = cause
+	switch t := m.(type) {
+	case *msg.Request:
+		ev.Req, ev.Obj, ev.Hops = t.ID, t.Object, int32(t.Hops)
+	case *msg.Reply:
+		ev.Req, ev.Obj, ev.Hops = t.ID, t.Object, int32(t.Hops)
+	default:
+		return
+	}
+	e.tracer.Emit(ev)
+}
 
 // Dropped returns the number of discarded messages — drop-filter hits,
 // fault-plan losses, and deliveries addressed to crashed nodes. In a run
@@ -170,6 +212,7 @@ func (e *VEngine) Send(m msg.Message) {
 	CountHop(m)
 	if e.drop != nil && e.drop(m) {
 		e.dropped++
+		e.traceDrop(e.current, m, obs.DropFilter)
 		return
 	}
 	delay := e.latency.cost(e.current, m.Dest())
@@ -179,6 +222,7 @@ func (e *VEngine) Send(m msg.Message) {
 			// Lost on the wire. Like drop-filter hits, lost messages
 			// are never recycled: the sender may still hold them.
 			e.dropped++
+			e.traceDrop(e.current, m, obs.DropLoss)
 			return
 		}
 	}
@@ -248,6 +292,7 @@ func (e *VEngine) Run() error {
 				// ago) and is never recycled.
 				e.dropped++
 				e.faults.stats.CrashDrops++
+				e.traceDrop(ids.None, ev.m, obs.DropCrash)
 				continue
 			}
 		}

@@ -1,0 +1,81 @@
+package adc
+
+import (
+	"io"
+
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/obs"
+)
+
+// Tracer records per-hop request-path events — inject, forward, cache hit,
+// origin resolve, backward, deliver, drop, timeout, retry — during a run.
+// Construct one with NewTracer, pass it in Config.Tracer (or install it on
+// an HTTPFarm with SetTracer), run, then export with WriteTrace or
+// WriteChromeTrace. A nil Tracer disables tracing at zero cost: the hot
+// paths check a nil pointer and skip all event assembly.
+type Tracer = obs.Tracer
+
+// NewTracer returns a tracer recording every event kind.
+func NewTracer() *Tracer { return obs.New() }
+
+// WriteTrace writes t's recorded events as JSON Lines, one event per line,
+// the format the adctrace tool consumes.
+func WriteTrace(w io.Writer, t *Tracer) error {
+	return obs.WriteJSONL(w, t.Events())
+}
+
+// WriteChromeTrace writes t's recorded events in Chrome trace_event JSON,
+// loadable in chrome://tracing or Perfetto: one timeline row per node,
+// instant events per hop, and one span per request attempt.
+func WriteChromeTrace(w io.Writer, t *Tracer) error {
+	return obs.WriteChrome(w, t.Events())
+}
+
+// TimeBucket is one fixed-width virtual-time window of run metrics,
+// collected when Config.MetricsEvery > 0. Occupancy and Cached have one
+// entry per proxy, snapshotted as the bucket sealed: total mapping-table
+// entries and cached objects respectively.
+type TimeBucket struct {
+	// Start and End bound the window in virtual ticks: [Start, End).
+	Start, End int64
+	// Injected, Completed and Hits count requests entering the system,
+	// finishing, and finishing from a proxy cache inside the window.
+	Injected, Completed, Hits uint64
+	// HitRate is Hits/Completed; MeanHops the mean hop count of the
+	// window's completions; MeanGap the mean inter-injection gap.
+	HitRate  float64
+	MeanHops float64
+	MeanGap  float64
+	// Timeouts, Retries, Abandoned and Drops are the window's fault and
+	// recovery event counts.
+	Timeouts, Retries, Abandoned, Drops uint64
+	// Occupancy and Cached are per-proxy table sizes at the window end.
+	Occupancy []int
+	Cached    []int
+}
+
+func convertBuckets(bs []metrics.Bucket) []TimeBucket {
+	if len(bs) == 0 {
+		return nil
+	}
+	out := make([]TimeBucket, 0, len(bs))
+	for _, b := range bs {
+		out = append(out, TimeBucket{
+			Start:     b.Start,
+			End:       b.End,
+			Injected:  b.Injected,
+			Completed: b.Completed,
+			Hits:      b.Hits,
+			HitRate:   b.HitRate(),
+			MeanHops:  b.MeanHops(),
+			MeanGap:   b.MeanGap(),
+			Timeouts:  b.Timeouts,
+			Retries:   b.Retries,
+			Abandoned: b.Abandoned,
+			Drops:     b.Drops,
+			Occupancy: b.Occupancy,
+			Cached:    b.Cached,
+		})
+	}
+	return out
+}
