@@ -14,7 +14,14 @@ ENGINE_BENCH = BenchmarkVEngine|BenchmarkEngineADC|BenchmarkClusterRun
 # re-runs it and asserts ≤3% drift against the recorded number.
 TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup|BenchmarkVEngineADC$$
 
-.PHONY: all build test race vet faults bench bench-tables bench-compare bench-sweep bench-profile trace-smoke figures clean
+# Parallel-engine scaling benchmark tracked in BENCH_parallel.json
+# (DESIGN.md "Parallel engine internals"): the 10k-proxy / 1M-client
+# workload on the sequential oracle and on the sharded engine at 1–8
+# shards. Interpret events/s against the file's num_cpu/gomaxprocs header;
+# benchjson compare warns when they differ between baseline and candidate.
+PARALLEL_BENCH = BenchmarkPEngineScaling
+
+.PHONY: all build test race vet faults bench bench-tables bench-parallel bench-compare bench-sweep bench-profile trace-smoke figures clean
 
 all: build test
 
@@ -56,11 +63,23 @@ bench-tables:
 	| $(GO) run ./cmd/benchjson -baseline BENCH_tables_baseline.json > BENCH_tables.json
 	@cat BENCH_tables.json
 
+# Parallel-engine scaling benchmark: ~10 GB peak RSS and several minutes
+# per variant, so it runs each subbenchmark once. The committed
+# BENCH_parallel_baseline.json is embedded for bench-compare.
+bench-parallel:
+	{ $(GO) version; \
+	  $(GO) test -bench '$(PARALLEL_BENCH)' -benchtime 1x -timeout 60m -run '^$$' ./internal/sim/; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_parallel_baseline.json > BENCH_parallel.json
+	@cat BENCH_parallel.json
+
 # Regression gate: compares the recorded table numbers against their
-# embedded baseline and fails on >10% ns/op regressions.
+# embedded baseline and fails on >10% ns/op regressions. The parallel
+# scaling file compares at a looser threshold: its subbenchmarks run once
+# (benchtime 1x), so single-run noise is larger.
 bench-compare:
 	$(GO) run ./cmd/benchjson compare BENCH_tables.json
 	$(GO) run ./cmd/benchjson compare BENCH_engine.json
+	$(GO) run ./cmd/benchjson compare -threshold 20 BENCH_parallel.json
 
 # Sweep benchmarks compare the sequential and parallel runners; the rest
 # regenerate every headline number in EXPERIMENTS.md.

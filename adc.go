@@ -93,6 +93,11 @@ const (
 	// is delayed by a latency model (Config.Latency), producing
 	// response-time metrics; required for open-loop injection.
 	RuntimeVirtualTime Runtime = "vtime"
+	// RuntimeParallel is the sharded multi-core virtual-time engine:
+	// byte-identical results to RuntimeVirtualTime at every shard count
+	// (Config.Shards). Lossless protocol only — no faults, recovery,
+	// tracing or tick-bucketed metrics.
+	RuntimeParallel Runtime = "parallel"
 )
 
 // Latency models the virtual-time cost of each message transfer, in
@@ -220,6 +225,10 @@ type Config struct {
 	// Result.Buckets every this many virtual ticks (requires
 	// RuntimeVirtualTime; 0 disables).
 	MetricsEvery int64
+
+	// Shards is the worker-shard count for RuntimeParallel; 0 means one
+	// shard per available CPU. Results are byte-identical at every value.
+	Shards int
 }
 
 // FaultPlan is a deterministic failure schedule. All randomness derives
@@ -342,6 +351,8 @@ func (c Config) toInternal() (cluster.Config, error) {
 		rt = cluster.RuntimeTCP
 	case RuntimeVirtualTime:
 		rt = cluster.RuntimeVirtualTime
+	case RuntimeParallel:
+		rt = cluster.RuntimeParallel
 	default:
 		return cluster.Config{}, fmt.Errorf("adc: unknown runtime %q", c.Runtime)
 	}
@@ -421,6 +432,7 @@ func (c Config) toInternal() (cluster.Config, error) {
 		Recovery:         recovery,
 		Tracer:           c.Tracer,
 		MetricsEvery:     c.MetricsEvery,
+		Shards:           c.Shards,
 	}, nil
 }
 

@@ -46,7 +46,8 @@ func run(args []string) error {
 		caching      = fs.Int("caching", 1000, "caching-table / LRU cache size (entries)")
 		maxHops      = fs.Int("maxhops", 0, "forwarding bound (0 = unbounded)")
 		seed         = fs.Int64("seed", 1, "random seed")
-		runtime      = fs.String("runtime", "sequential", "runtime: sequential, agents, tcp or vtime")
+		runtime      = fs.String("runtime", "sequential", "runtime: sequential, agents, tcp, vtime or parallel")
+		shards       = fs.Int("shards", 0, "worker shards for -runtime parallel (0 = one per CPU)")
 		backend      = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
 		entry        = fs.String("entry", "random", "entry policy: random, round-robin or fixed")
 		requests     = fs.Int("requests", 400_000, "synthetic workload length")
@@ -133,6 +134,7 @@ func run(args []string) error {
 		Runtime:       adc.Runtime(*runtime),
 		Backend:       adc.TableBackend(*backend),
 		MetricsEvery:  *metricsEvery,
+		Shards:        *shards,
 	}
 	var tracer *adc.Tracer
 	if *traceOn {

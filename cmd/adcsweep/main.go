@@ -50,6 +50,7 @@ func run(args []string) error {
 		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
 		csvPath    = fs.String("csv", "", "also write CSV to this file")
 		parallel   = fs.Int("parallel", runtime.NumCPU(), "concurrent simulations (1 = sequential; use 1 for -metric time)")
+		shards     = fs.Int("shards", 0, "run each simulation on the parallel engine with this many shards (0 = sequential; hits/hops only)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file")
 		verbose    = fs.Bool("v", false, "verbose stderr logging")
@@ -64,6 +65,14 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown metric %q (want hits, hops, time, resilience or convergence)", *metric)
 	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
+	}
+	if *shards > 0 && *metric == "time" {
+		// Fig. 15 measures the sequential engine's wall clock; running it
+		// sharded would time a different machine.
+		return fmt.Errorf("-shards does not apply to -metric time")
+	}
 	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
 	if err != nil {
 		return err
@@ -71,7 +80,7 @@ func run(args []string) error {
 
 	profile := adc.Profile{
 		Scale: *scale, Seed: *seed, Proxies: *proxies, Parallel: *parallel,
-		Backend: adc.TableBackend(*backend),
+		Backend: adc.TableBackend(*backend), Shards: *shards,
 	}
 	profile.Progress = progressLine(log)
 

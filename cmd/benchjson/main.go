@@ -30,6 +30,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -50,9 +51,15 @@ type Entry struct {
 
 // File is the BENCH_engine.json schema.
 type File struct {
-	GitSHA     string  `json:"git_sha"`
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version,omitempty"`
+	GitSHA    string `json:"git_sha"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version,omitempty"`
+	// NumCPU/GoMaxProcs describe the recording machine — without them a
+	// parallel-scaling result (events/s at shards=4 on a single core) is
+	// trivially misread. CPU is the model line `go test -bench` prints.
+	NumCPU     int     `json:"num_cpu,omitempty"`
+	GoMaxProcs int     `json:"gomaxprocs,omitempty"`
+	CPU        string  `json:"cpu,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 	// Baseline embeds the pre-optimization numbers the current ones are
 	// compared against (-baseline flag).
@@ -128,6 +135,7 @@ func runCompare(args []string, w io.Writer) (int, error) {
 	}
 
 	fmt.Fprintf(w, "old %s  new %s  (threshold %+.0f%% ns/op)\n", old.GitSHA, cur.GitSHA, *threshold)
+	warnMachineMismatch(w, old, cur)
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "benchmark\told ns/op\tnew ns/op\tdelta\told allocs\tnew allocs\tdelta\t")
 	regressed := 0
@@ -163,6 +171,22 @@ func runCompare(args []string, w io.Writer) (int, error) {
 	return 0, nil
 }
 
+// warnMachineMismatch flags comparisons whose two sides were recorded on
+// different machine shapes. A core-count or GOMAXPROCS change invalidates
+// parallel-scaling deltas without making either file wrong, so this warns
+// rather than fails; files recorded before the fields existed (zero values)
+// are skipped.
+func warnMachineMismatch(w io.Writer, old, cur *File) {
+	if old.NumCPU != 0 && cur.NumCPU != 0 && old.NumCPU != cur.NumCPU {
+		fmt.Fprintf(w, "warning: NumCPU differs (old %d, new %d) — deltas may reflect the machine, not the code\n",
+			old.NumCPU, cur.NumCPU)
+	}
+	if old.GoMaxProcs != 0 && cur.GoMaxProcs != 0 && old.GoMaxProcs != cur.GoMaxProcs {
+		fmt.Fprintf(w, "warning: GOMAXPROCS differs (old %d, new %d) — deltas may reflect the machine, not the code\n",
+			old.GoMaxProcs, cur.GoMaxProcs)
+	}
+}
+
 // pctDelta returns the percentage change from old to new; 0 when old is 0
 // (nothing meaningful to report against a zero base).
 func pctDelta(old, new float64) float64 {
@@ -193,8 +217,10 @@ func run(sha, baselinePath string) error {
 		sha = gitSHA()
 	}
 	out := File{
-		GitSHA: sha,
-		Date:   time.Now().UTC().Format(time.RFC3339),
+		GitSHA:     sha,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	if baselinePath != "" {
 		data, err := os.ReadFile(baselinePath)
@@ -216,6 +242,10 @@ func run(sha, baselinePath string) error {
 		}
 		if v, ok := strings.CutPrefix(line, "go version "); ok {
 			out.GoVersion = strings.Fields(v)[0]
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			out.CPU = strings.TrimSpace(v)
 			continue
 		}
 		if e, ok := parseBenchLine(line); ok {

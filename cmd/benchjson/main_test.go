@@ -98,6 +98,47 @@ func TestCompareAgainstEmbeddedBaseline(t *testing.T) {
 	}
 }
 
+func TestCompareWarnsOnMachineMismatch(t *testing.T) {
+	old := writeBenchFile(t, "old.json", File{
+		GitSHA: "aaaa", NumCPU: 8, GoMaxProcs: 8,
+		Benchmarks: []Entry{{Name: "BenchmarkX", NsPerOp: 100}},
+	})
+	cur := writeBenchFile(t, "new.json", File{
+		GitSHA: "bbbb", NumCPU: 1, GoMaxProcs: 1,
+		Benchmarks: []Entry{{Name: "BenchmarkX", NsPerOp: 100}},
+	})
+	var out strings.Builder
+	code, err := runCompare([]string{old, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (mismatch warns, never fails)", code)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"warning: NumCPU differs (old 8, new 1)",
+		"warning: GOMAXPROCS differs (old 8, new 1)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+
+	// Files recorded before the fields existed must not trip the warning.
+	legacy := writeBenchFile(t, "legacy.json", File{
+		GitSHA:     "cccc",
+		Benchmarks: []Entry{{Name: "BenchmarkX", NsPerOp: 100}},
+	})
+	out.Reset()
+	if _, err := runCompare([]string{legacy, cur}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "warning:") {
+		t.Errorf("legacy file without machine fields must not warn:\n%s", out.String())
+	}
+}
+
 func TestParseBenchLine(t *testing.T) {
 	e, ok := parseBenchLine(
 		"BenchmarkTablesUpdate/btree/hit-8  1000000  1234.5 ns/op  16 B/op  2 allocs/op")

@@ -27,6 +27,11 @@ type Profile struct {
 	// Experiments that sweep backends themselves (TimingSweep,
 	// BackendComparison) ignore it.
 	Backend TableBackend
+	// Shards, when positive, runs each simulation on the sharded
+	// parallel engine (RuntimeParallel) with that many worker shards.
+	// Results are byte-identical to the default sequential execution;
+	// experiments whose features need a specific runtime ignore it.
+	Shards int
 	// Parallel bounds how many independent simulations an experiment
 	// runs concurrently (default GOMAXPROCS; 1 forces sequential
 	// execution). Results are bit-identical at any width — runs are
@@ -77,6 +82,7 @@ func (p Profile) toInternal() (experiments.Profile, error) {
 		return ip, fmt.Errorf("adc: unknown backend %q", p.Backend)
 	}
 	ip.Backend = backend
+	ip.Shards = p.Shards
 	ip.Parallelism = p.Parallel
 	if cb := p.Progress; cb != nil {
 		ip.Progress = func(info experiments.ProgressInfo) {

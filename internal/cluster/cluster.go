@@ -8,6 +8,7 @@ package cluster
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -99,6 +100,13 @@ const (
 	// latency model, yielding response-time metrics and supporting
 	// open-loop (fixed request rate) injection.
 	RuntimeVirtualTime
+	// RuntimeParallel is the sharded multi-core virtual-time engine
+	// (sim.PEngine): the same discrete-event semantics as
+	// RuntimeVirtualTime with byte-identical results at any shard count,
+	// executed across Config.Shards cores for large topologies. It
+	// supports the lossless protocol only — fault injection, tracing and
+	// windowed time-series remain virtual-time-runtime features.
+	RuntimeParallel
 )
 
 // String implements fmt.Stringer.
@@ -112,6 +120,8 @@ func (r Runtime) String() string {
 		return "tcp"
 	case RuntimeVirtualTime:
 		return "vtime"
+	case RuntimeParallel:
+		return "parallel"
 	default:
 		return fmt.Sprintf("Runtime(%d)", int(r))
 	}
@@ -156,12 +166,19 @@ type Config struct {
 	Runtime Runtime
 
 	// Latency is the virtual-time latency model; the zero value selects
-	// sim.DefaultLatencyModel(). Only used by RuntimeVirtualTime.
+	// sim.DefaultLatencyModel(). Used by RuntimeVirtualTime and
+	// RuntimeParallel.
 	Latency sim.LatencyModel
+
+	// Shards is the number of engine shards for RuntimeParallel
+	// (0 = GOMAXPROCS). Results are byte-identical at every shard count;
+	// the setting only chooses how many cores the run spreads over.
+	// Setting it on any other runtime is a configuration error.
+	Shards int
 
 	// OpenLoopInterval switches clients to open-loop injection with
 	// this mean inter-arrival time in virtual ticks (0 = closed loop).
-	// Requires RuntimeVirtualTime.
+	// Requires RuntimeVirtualTime or RuntimeParallel.
 	OpenLoopInterval int64
 
 	// Poisson draws exponential inter-arrival times in open-loop mode.
@@ -228,8 +245,14 @@ func (c Config) Validate() error {
 	if c.OpenLoopInterval < 0 {
 		return fmt.Errorf("cluster: OpenLoopInterval must be non-negative, got %d", c.OpenLoopInterval)
 	}
-	if c.OpenLoopInterval > 0 && c.Runtime != RuntimeVirtualTime {
-		return fmt.Errorf("cluster: open-loop injection requires the virtual-time runtime")
+	if c.OpenLoopInterval > 0 && c.Runtime != RuntimeVirtualTime && c.Runtime != RuntimeParallel {
+		return fmt.Errorf("cluster: open-loop injection requires a virtual-time runtime")
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: Shards must be non-negative, got %d", c.Shards)
+	}
+	if c.Shards > 0 && c.Runtime != RuntimeParallel {
+		return fmt.Errorf("cluster: Shards requires the parallel runtime")
 	}
 	if c.Tracer != nil && c.Runtime != RuntimeSequential && c.Runtime != RuntimeVirtualTime {
 		return fmt.Errorf("cluster: tracing requires the sequential or virtual-time runtime")
@@ -628,6 +651,36 @@ func (c *Cluster) Run() (*Result, error) {
 		delivered = eng.Delivered()
 		dropped = eng.Dropped()
 		faultStats = eng.FaultStats()
+	case RuntimeParallel:
+		latency := c.cfg.Latency
+		if latency == (sim.LatencyModel{}) {
+			latency = sim.DefaultLatencyModel()
+		}
+		shards := c.cfg.Shards
+		if shards == 0 {
+			shards = runtime.GOMAXPROCS(0)
+		}
+		span := c.cfg.NumProxies
+		if c.cfg.Algorithm == Hierarchical || c.cfg.Algorithm == Coordinator {
+			span++ // the root/dispatcher occupies NodeID(NumProxies)
+		}
+		part, err := ids.NewShardMap(shards, span)
+		if err != nil {
+			return nil, err
+		}
+		eng := sim.NewPEngine(latency, part)
+		for _, n := range c.nodes {
+			if err := eng.Register(n); err != nil {
+				return nil, err
+			}
+		}
+		// Validation already rejected faults, tracing and time-series on
+		// this runtime: the parallel engine covers the lossless protocol
+		// only, so there is nothing to wire beyond the nodes.
+		if err := eng.Run(); err != nil {
+			return nil, err
+		}
+		delivered = eng.Delivered()
 	case RuntimeAgents, RuntimeTCP:
 		d, err := c.runConcurrent()
 		if err != nil {

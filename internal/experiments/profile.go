@@ -53,6 +53,14 @@ type Profile struct {
 	// Backend selects the ordered-table backend for non-timing
 	// experiments (timing experiments force the paper-faithful ones).
 	Backend core.Backend
+	// Shards, when positive, runs each simulation on the sharded
+	// parallel engine with that many worker shards instead of the
+	// sequential runtime. Results are byte-identical either way; the
+	// knob exists so large sweeps can exploit multiple cores inside a
+	// single simulation rather than only across simulations.
+	// Experiments that require a specific runtime (fault injection,
+	// tracing, tick-bucketed metrics) ignore it.
+	Shards int
 	// Parallelism bounds how many independent simulations an experiment
 	// runs concurrently. 0 means GOMAXPROCS; 1 forces the sequential
 	// path. Whatever the width, results are bit-identical: every run is
@@ -166,9 +174,11 @@ func (p Profile) traceFor(cfg workload.Config) (*workload.Trace, error) {
 	return traceCache.Get(cfg)
 }
 
-// ClusterConfig assembles the cluster configuration for one run.
+// ClusterConfig assembles the cluster configuration for one run. With
+// Shards > 0 the run uses the parallel engine; callers that force another
+// runtime must also clear Shards (see forceVirtualTime).
 func (p Profile) ClusterConfig(algo cluster.Algorithm, tables core.Config, sampleEvery uint64) cluster.Config {
-	return cluster.Config{
+	cfg := cluster.Config{
 		Algorithm:   algo,
 		NumProxies:  p.Proxies,
 		Tables:      tables,
@@ -177,6 +187,19 @@ func (p Profile) ClusterConfig(algo cluster.Algorithm, tables core.Config, sampl
 		Window:      p.Window,
 		SampleEvery: sampleEvery,
 	}
+	if p.Shards > 0 {
+		cfg.Runtime = cluster.RuntimeParallel
+		cfg.Shards = p.Shards
+	}
+	return cfg
+}
+
+// forceVirtualTime pins a run to the sequential virtual-time engine,
+// undoing any profile-level parallel-engine selection — for experiments
+// whose features (faults, tracing, recovery) only that runtime supports.
+func forceVirtualTime(cfg *cluster.Config) {
+	cfg.Runtime = cluster.RuntimeVirtualTime
+	cfg.Shards = 0
 }
 
 // run executes one simulation with a cursor over the profile's shared

@@ -1,0 +1,69 @@
+package ids
+
+import "testing"
+
+func TestNewShardMapValidation(t *testing.T) {
+	if _, err := NewShardMap(0, 5); err == nil {
+		t.Error("expected error for zero shards")
+	}
+	if _, err := NewShardMap(2, 0); err == nil {
+		t.Error("expected error for zero proxy span")
+	}
+	if _, err := NewShardMap(1, 1); err != nil {
+		t.Errorf("minimal map rejected: %v", err)
+	}
+}
+
+// TestShardMapPartition checks the structural properties the parallel
+// engine relies on: totality (every ID maps into range), contiguous proxy
+// blocks, client colocation with the home proxy, and the origin on shard 0.
+func TestShardMapPartition(t *testing.T) {
+	for _, tc := range []struct{ shards, span int }{
+		{1, 5}, {2, 5}, {3, 5}, {4, 10}, {8, 10}, {5, 3}, {7, 10000},
+	} {
+		m, err := NewShardMap(tc.shards, tc.span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Shards() != tc.shards {
+			t.Fatalf("Shards() = %d, want %d", m.Shards(), tc.shards)
+		}
+		if got := m.ShardOf(Origin); got != 0 {
+			t.Errorf("shards=%d span=%d: origin on shard %d, want 0", tc.shards, tc.span, got)
+		}
+		if got := m.ShardOf(None); got < 0 || got >= tc.shards {
+			t.Errorf("shards=%d span=%d: None out of range: %d", tc.shards, tc.span, got)
+		}
+		prev := 0
+		populated := make([]bool, tc.shards)
+		for p := 0; p < tc.span; p++ {
+			s := m.ShardOf(NodeID(p))
+			if s < 0 || s >= tc.shards {
+				t.Fatalf("shards=%d span=%d: proxy %d out of range: %d", tc.shards, tc.span, p, s)
+			}
+			if s < prev {
+				t.Fatalf("shards=%d span=%d: proxy blocks not contiguous at proxy %d", tc.shards, tc.span, p)
+			}
+			prev = s
+			populated[s] = true
+		}
+		if tc.shards <= tc.span {
+			for s, ok := range populated {
+				if !ok {
+					t.Errorf("shards=%d span=%d: shard %d owns no proxies", tc.shards, tc.span, s)
+				}
+			}
+		}
+		for i := 0; i < 3*tc.span; i++ {
+			home := i % tc.span
+			if got, want := m.ShardOf(Client(i)), m.ShardOf(NodeID(home)); got != want {
+				t.Errorf("shards=%d span=%d: client %d on shard %d, home proxy %d on shard %d",
+					tc.shards, tc.span, i, got, home, want)
+			}
+		}
+		// Out-of-span proxy IDs still map into range (defensive totality).
+		if got := m.ShardOf(NodeID(tc.span + 100)); got < 0 || got >= tc.shards {
+			t.Errorf("shards=%d span=%d: out-of-span proxy maps to %d", tc.shards, tc.span, got)
+		}
+	}
+}

@@ -82,17 +82,23 @@ func WithExpectedRequests(n uint64) Option {
 	return func(c *Collector) { c.expected = n }
 }
 
-// NewCollector returns a ready Collector.
+// NewCollector returns a ready Collector. Options apply before the default
+// windows are allocated, so a WithWindow override pays for exactly one pair
+// of rings — with a million per-client collectors in a sharded run, eagerly
+// allocating the 5000-slot defaults first would burn ~80 KB of garbage per
+// client before the option even ran.
 func NewCollector(opts ...Option) *Collector {
 	c := &Collector{
-		window:      stats.NewMovingAverage(DefaultWindow),
-		hopsWindow:  stats.NewMovingAverage(DefaultWindow),
 		hopsHist:    stats.NewHistogram(32, 1),
 		pathLens:    &stats.Online{},
 		sampleEvery: DefaultWindow,
 	}
 	for _, opt := range opts {
 		opt(c)
+	}
+	if c.window == nil {
+		c.window = stats.NewMovingAverage(DefaultWindow)
+		c.hopsWindow = stats.NewMovingAverage(DefaultWindow)
 	}
 	if c.expected > 0 && c.sampleEvery > 0 {
 		c.series = make([]Point, 0, c.expected/c.sampleEvery)

@@ -65,11 +65,14 @@ func (t *retryTimer) Dest() ids.NodeID { return t.to }
 // MaxRetries so the closed loop keeps moving even when a chain is
 // permanently stranded.
 type Client struct {
-	id        ids.NodeID
-	src       workload.Source
-	proxies   []ids.NodeID
-	policy    EntryPolicy
+	id      ids.NodeID
+	src     workload.Source
+	proxies []ids.NodeID
+	policy  EntryPolicy
+	// rng is created on first draw (a rand.Rand is ~5 KB; deterministic
+	// entry policies never draw).
 	rng       *rand.Rand
+	seed      int64
 	collector *metrics.Collector
 	maxHops   int
 	recovery  Recovery
@@ -151,7 +154,7 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 		src:       cfg.Source,
 		proxies:   cfg.Proxies,
 		policy:    cfg.Policy,
-		rng:       rand.New(rand.NewSource(cfg.Seed ^ 0x5DEECE66D)),
+		seed:      cfg.Seed,
 		collector: cfg.Collector,
 		maxHops:   cfg.MaxHops,
 		recovery:  cfg.Recovery,
@@ -363,6 +366,9 @@ func (c *Client) pickEntry() ids.NodeID {
 	case EntryFixed:
 		return c.proxies[0]
 	default:
+		if c.rng == nil {
+			c.rng = rand.New(rand.NewSource(c.seed ^ 0x5DEECE66D))
+		}
 		return c.proxies[c.rng.Intn(len(c.proxies))]
 	}
 }

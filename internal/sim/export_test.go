@@ -1,0 +1,10 @@
+package sim
+
+// SetParallelMergeMin overrides the serial/parallel merge threshold and
+// returns a restore function. Determinism tests force the parallel rank+push
+// path on workloads far below the production threshold.
+func SetParallelMergeMin(n int) (restore func()) {
+	old := parallelMergeMin
+	parallelMergeMin = n
+	return func() { parallelMergeMin = old }
+}

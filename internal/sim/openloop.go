@@ -28,11 +28,15 @@ func (t *tick) Dest() ids.NodeID { return t.to }
 // queueing and interleaving; it requires the virtual-time engine (its
 // timer is the Scheduler interface) and remains fully deterministic there.
 type OpenLoopClient struct {
-	id        ids.NodeID
-	src       workload.Source
-	proxies   []ids.NodeID
-	policy    EntryPolicy
+	id      ids.NodeID
+	src     workload.Source
+	proxies []ids.NodeID
+	policy  EntryPolicy
+	// rng is created on first draw (see rand): a rand.Rand is ~5 KB, and a
+	// million-client run with fixed arrivals and a deterministic entry
+	// policy never draws at all.
 	rng       *rand.Rand
+	seed      int64
 	collector *metrics.Collector
 	maxHops   int
 	recovery  Recovery
@@ -118,7 +122,7 @@ func NewOpenLoopClient(cfg OpenLoopConfig) (*OpenLoopClient, error) {
 		src:         cfg.Source,
 		proxies:     cfg.Proxies,
 		policy:      cfg.Policy,
-		rng:         rand.New(rand.NewSource(cfg.Seed ^ 0x0BADCAFE)),
+		seed:        cfg.Seed,
 		collector:   cfg.Collector,
 		maxHops:     cfg.MaxHops,
 		recovery:    cfg.Recovery,
@@ -332,14 +336,27 @@ func (c *OpenLoopClient) maybeFinish() {
 	}
 }
 
+// rand returns the client's private random stream, created on first use.
+// Lazy creation changes nothing observable — the stream is seeded the same
+// whenever it is built — but leaves rng nil for the common large-scale
+// configuration (fixed arrivals, fixed or round-robin entry), which never
+// draws.
+func (c *OpenLoopClient) rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.seed ^ 0x0BADCAFE))
+	}
+	return c.rng
+}
+
 // nextGap draws the next inter-arrival time.
 func (c *OpenLoopClient) nextGap() int64 {
 	if !c.poisson {
 		return c.interval
 	}
-	u := c.rng.Float64()
+	rng := c.rand()
+	u := rng.Float64()
 	for u == 0 {
-		u = c.rng.Float64()
+		u = rng.Float64()
 	}
 	gap := int64(-math.Log(u) * float64(c.interval))
 	if gap < 1 {
@@ -357,6 +374,6 @@ func (c *OpenLoopClient) pickEntry() ids.NodeID {
 	case EntryFixed:
 		return c.proxies[0]
 	default:
-		return c.proxies[c.rng.Intn(len(c.proxies))]
+		return c.proxies[c.rand().Intn(len(c.proxies))]
 	}
 }

@@ -1,0 +1,284 @@
+package sim_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/proxy"
+	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/trace"
+)
+
+// pengineShardCounts are the partition widths every determinism test runs
+// at: the degenerate single shard, even splits, an uneven split (3 shards
+// over 5 proxies), and more shards than this machine may have cores.
+var pengineShardCounts = []int{1, 2, 3, 4, 8}
+
+// engineRunner abstracts VEngine/PEngine for the comparison rigs.
+type engineRunner interface {
+	registrar
+	Run() error
+	Delivered() uint64
+}
+
+// rigResult captures everything observable from a run: per-client metric
+// summaries and series, per-proxy protocol stats, and the engine's delivery
+// count. Byte-identical engines must agree on all of it.
+type rigResult struct {
+	summaries []metrics.Summary
+	series    [][]metrics.Point
+	proxies   []metrics.ProxyStats
+	delivered uint64
+}
+
+// pengineRig parameterizes one engine-comparison workload.
+type pengineRig struct {
+	latency  sim.LatencyModel
+	proxies  int
+	clients  int
+	requests int
+	// openLoop switches from closed-loop clients to open-loop injection
+	// (many requests in flight); poisson randomizes the arrival gaps.
+	openLoop bool
+	poisson  bool
+}
+
+// run wires the rig onto eng, runs it, and snapshots the observable state.
+func (r pengineRig) run(t *testing.T, eng engineRunner) rigResult {
+	t.Helper()
+	proxies := make([]*proxy.ADC, r.proxies)
+	proxyIDs := make([]ids.NodeID, r.proxies)
+	for i := range proxyIDs {
+		proxyIDs[i] = ids.NodeID(i)
+	}
+	for i := range proxies {
+		p, err := proxy.New(proxy.Config{
+			ID:     ids.NodeID(i),
+			Peers:  proxyIDs,
+			Tables: core.Config{SingleSize: 400, MultipleSize: 400, CachingSize: 200},
+			Seed:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		proxies[i] = p
+		if err := eng.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Register(sim.NewOrigin()); err != nil {
+		t.Fatal(err)
+	}
+	collectors := make([]*metrics.Collector, r.clients)
+	for i := 0; i < r.clients; i++ {
+		collectors[i] = metrics.NewCollector(metrics.WithSampleEvery(50))
+		objs := benchObjects(r.requests, 300)
+		var (
+			cl  sim.Node
+			err error
+		)
+		if r.openLoop {
+			cl, err = sim.NewOpenLoopClient(sim.OpenLoopConfig{
+				Index:         i,
+				Source:        trace.NewSliceSource(objs),
+				Proxies:       proxyIDs,
+				Policy:        sim.EntryRandom,
+				Seed:          int64(i + 1),
+				Collector:     collectors[i],
+				IntervalTicks: 700,
+				Poisson:       r.poisson,
+			})
+		} else {
+			cl, err = sim.NewClient(sim.ClientConfig{
+				Index:     i,
+				Source:    trace.NewSliceSource(objs),
+				Proxies:   proxyIDs,
+				Policy:    sim.EntryRandom,
+				Seed:      int64(i + 1),
+				Collector: collectors[i],
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Register(cl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	res := rigResult{delivered: eng.Delivered()}
+	for _, c := range collectors {
+		res.summaries = append(res.summaries, c.Summary())
+		res.series = append(res.series, append([]metrics.Point(nil), c.Series()...))
+	}
+	for _, p := range proxies {
+		res.proxies = append(res.proxies, p.Stats())
+	}
+	return res
+}
+
+// compare runs the rig on the sequential oracle and on the parallel engine
+// at every shard count, requiring identical observable results.
+func (r pengineRig) compare(t *testing.T) {
+	t.Helper()
+	want := r.run(t, sim.NewVEngine(r.latency))
+	for _, shards := range pengineShardCounts {
+		part, err := ids.NewShardMap(shards, r.proxies)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := r.run(t, sim.NewPEngine(r.latency, part))
+		label := fmt.Sprintf("shards=%d", shards)
+		if want.delivered != got.delivered {
+			t.Errorf("%s: delivered %d, sequential delivered %d", label, got.delivered, want.delivered)
+		}
+		if !reflect.DeepEqual(want.summaries, got.summaries) {
+			t.Errorf("%s: client summaries diverge\n got %+v\nwant %+v", label, got.summaries, want.summaries)
+		}
+		if !reflect.DeepEqual(want.series, got.series) {
+			t.Errorf("%s: client time series diverge", label)
+		}
+		if !reflect.DeepEqual(want.proxies, got.proxies) {
+			t.Errorf("%s: proxy stats diverge\n got %+v\nwant %+v", label, got.proxies, want.proxies)
+		}
+	}
+}
+
+// TestPEngineMatchesVEngineClosedLoop pins the tentpole guarantee at the
+// engine level: the sharded engine's observable output is identical to the
+// sequential oracle at every shard count, including shard counts that do
+// not divide the proxy span.
+func TestPEngineMatchesVEngineClosedLoop(t *testing.T) {
+	pengineRig{
+		latency:  sim.DefaultLatencyModel(),
+		proxies:  5,
+		clients:  6,
+		requests: 400,
+	}.compare(t)
+}
+
+// TestPEngineMatchesVEngineOpenLoop drives wide cohorts: open-loop clients
+// with identical fixed intervals inject at the same virtual instants, so
+// cohorts span shards and the cross-shard merge does real work. The poisson
+// variant staggers arrivals so cohort membership shifts every window.
+func TestPEngineMatchesVEngineOpenLoop(t *testing.T) {
+	for _, poisson := range []bool{false, true} {
+		name := "fixed"
+		if poisson {
+			name = "poisson"
+		}
+		t.Run(name, func(t *testing.T) {
+			pengineRig{
+				latency:  sim.DefaultLatencyModel(),
+				proxies:  5,
+				clients:  8,
+				requests: 200,
+				openLoop: true,
+				poisson:  poisson,
+			}.compare(t)
+		})
+	}
+}
+
+// TestPEngineMatchesVEngineDegenerateLatency collapses the latency model to
+// a single tick so nearly every event in the run shares a timestamp —
+// maximal cohort width, maximal merge pressure, and the regime where a
+// sequence-numbering bug would surface immediately.
+func TestPEngineMatchesVEngineDegenerateLatency(t *testing.T) {
+	pengineRig{
+		latency:  sim.LatencyModel{ClientProxy: 1, ProxyProxy: 1, ProxyOrigin: 1, Service: 0},
+		proxies:  5,
+		clients:  8,
+		requests: 300,
+		openLoop: true,
+	}.compare(t)
+}
+
+// TestPEngineParallelMergePath forces the parallel rank+push merge (the
+// production path for million-event cohorts) onto a small workload by
+// dropping the serial-merge threshold to one emission, and requires the
+// results to stay identical to the sequential oracle.
+func TestPEngineParallelMergePath(t *testing.T) {
+	defer sim.SetParallelMergeMin(1)()
+	pengineRig{
+		latency:  sim.DefaultLatencyModel(),
+		proxies:  5,
+		clients:  8,
+		requests: 200,
+		openLoop: true,
+	}.compare(t)
+}
+
+// TestPEngineUnregisteredNode checks the error path survives sharding.
+func TestPEngineUnregisteredNode(t *testing.T) {
+	part, err := ids.NewShardMap(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewPEngine(sim.DefaultLatencyModel(), part)
+	buildADCArrayT(t, eng, 2)
+	// A client that addresses a proxy outside the rig.
+	bogus, err := sim.NewClient(sim.ClientConfig{
+		Source:  trace.NewSliceSource(benchObjects(1, 10)),
+		Proxies: []ids.NodeID{7},
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(bogus); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(); err == nil {
+		t.Fatal("expected unregistered-node error, got nil")
+	}
+}
+
+// TestPEngineDuplicateRegister mirrors the sequential engines' contract.
+func TestPEngineDuplicateRegister(t *testing.T) {
+	part, err := ids.NewShardMap(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewPEngine(sim.DefaultLatencyModel(), part)
+	if err := eng.Register(sim.NewOrigin()); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Register(sim.NewOrigin()); err == nil {
+		t.Fatal("expected duplicate-node error, got nil")
+	}
+}
+
+// buildADCArrayT is buildADCArray for tests (the shared helper takes a
+// *testing.B).
+func buildADCArrayT(t *testing.T, eng registrar, nProxies int) []ids.NodeID {
+	t.Helper()
+	proxyIDs := make([]ids.NodeID, nProxies)
+	for i := range proxyIDs {
+		proxyIDs[i] = ids.NodeID(i)
+	}
+	for _, id := range proxyIDs {
+		p, err := proxy.New(proxy.Config{
+			ID:     id,
+			Peers:  proxyIDs,
+			Tables: core.Config{SingleSize: 2000, MultipleSize: 2000, CachingSize: 1000},
+			Seed:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Register(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Register(sim.NewOrigin()); err != nil {
+		t.Fatal(err)
+	}
+	return proxyIDs
+}
