@@ -14,6 +14,12 @@ ENGINE_BENCH = BenchmarkVEngine|BenchmarkEngineADC|BenchmarkClusterRun
 # re-runs it and asserts ≤3% drift against the recorded number.
 TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup|BenchmarkVEngineADC$$
 
+# HTTP-farm real-network benchmarks tracked in BENCH_farm.json (DESIGN.md
+# "Real-network path"): end-to-end farm throughput serial and fanned-in,
+# plus the miss-storm pair whose origin-fetches/op gap measures miss
+# coalescing. Interpret req/s against num_cpu/gomaxprocs in the file.
+FARM_BENCH = BenchmarkFarmGet|BenchmarkFarmMissStorm
+
 # Parallel-engine scaling benchmark tracked in BENCH_parallel.json
 # (DESIGN.md "Parallel engine internals"): the 10k-proxy / 1M-client
 # workload on the sequential oracle and on the sharded engine at 1–8
@@ -21,7 +27,7 @@ TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup|BenchmarkVEngineADC$$
 # benchjson compare warns when they differ between baseline and candidate.
 PARALLEL_BENCH = BenchmarkPEngineScaling
 
-.PHONY: all build test race vet faults bench bench-tables bench-parallel bench-compare bench-sweep bench-profile trace-smoke figures clean
+.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-compare bench-sweep bench-profile loadtest trace-smoke figures clean
 
 all: build test
 
@@ -63,6 +69,24 @@ bench-tables:
 	| $(GO) run ./cmd/benchjson -baseline BENCH_tables_baseline.json > BENCH_tables.json
 	@cat BENCH_tables.json
 
+# HTTP-farm benchmarks: real loopback sockets end to end, recorded with
+# the pre-optimization numbers (BENCH_farm_baseline.json) embedded.
+bench-farm:
+	{ $(GO) version; \
+	  $(GO) test -bench '$(FARM_BENCH)' -run '^$$' ./internal/httpproxy/; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_farm_baseline.json > BENCH_farm.json
+	@cat BENCH_farm.json
+
+# Open-loop load test against an in-process farm: offered vs achieved rate,
+# coordinated-omission-corrected latency quantiles, per-proxy hit/shed
+# counts. Tune with RATE/DURATION/PROXIES, e.g.
+#   make loadtest RATE=5000 DURATION=30s PROXIES=16
+RATE     ?= 2000
+DURATION ?= 10s
+PROXIES  ?= 8
+loadtest:
+	$(GO) run ./cmd/adcload -rate $(RATE) -duration $(DURATION) -proxies $(PROXIES)
+
 # Parallel-engine scaling benchmark: ~10 GB peak RSS and several minutes
 # per variant, so it runs each subbenchmark once. The committed
 # BENCH_parallel_baseline.json is embedded for bench-compare.
@@ -80,6 +104,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson compare BENCH_tables.json
 	$(GO) run ./cmd/benchjson compare BENCH_engine.json
 	$(GO) run ./cmd/benchjson compare -threshold 20 BENCH_parallel.json
+	$(GO) run ./cmd/benchjson compare -threshold 20 BENCH_farm.json
 
 # Sweep benchmarks compare the sequential and parallel runners; the rest
 # regenerate every headline number in EXPERIMENTS.md.

@@ -446,8 +446,11 @@ type Point struct {
 	CumHops    float64
 }
 
-// ProxyStats are one proxy's event counters after a run. The last three
-// belong to the recovery extension and stay zero in paper-faithful runs.
+// ProxyStats are one proxy's event counters after a run.
+// ExpiredPending/StaleInvalidated/UnexpectedReplies belong to the recovery
+// extension and stay zero in paper-faithful runs; Shed and CoalescedMisses
+// belong to the HTTP farm's admission control and miss coalescing and stay
+// zero in simulator runs.
 type ProxyStats struct {
 	Requests          uint64
 	LocalHits         uint64
@@ -461,6 +464,8 @@ type ProxyStats struct {
 	ExpiredPending    uint64
 	StaleInvalidated  uint64
 	UnexpectedReplies uint64
+	Shed              uint64
+	CoalescedMisses   uint64
 }
 
 // Result is the outcome of one simulation.

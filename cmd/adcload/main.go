@@ -1,0 +1,424 @@
+// Command adcload is an open-loop load generator for the HTTP proxy farm.
+//
+// Closed-loop drivers (like Farm.RunWorkloadN) issue the next request only
+// after the previous one completes, so a slow server quietly throttles the
+// offered load and the measured latencies look better than they are — the
+// coordinated-omission trap. adcload instead schedules request i at
+// start + i/rate regardless of how the server is doing, and measures each
+// latency from that *scheduled* arrival time, so queueing delay caused by
+// the server falling behind is charged to the server (wrk2-style
+// correction). The achieved-vs-offered gap in the report is the direct
+// saturation signal.
+//
+// The farm runs in-process on loopback ports: the numbers include the full
+// real-network path (HTTP parse, connection pool, ADC forwarding between
+// proxies, origin fetches) without cross-machine noise.
+//
+// Typical runs:
+//
+//	adcload -proxies 8 -rate 5000 -duration 10s               # paper-shaped stream
+//	adcload -profile zipf -alpha 0.8 -population 4096 ...     # plain Zipf
+//	adcload -rate 50000 -max-active 256 -max-queue 512        # force shedding
+//	adcload -json > run.json                                  # machine-readable
+//	adcload -bench | benchjson > BENCH_load.json              # bench-line form
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/httpproxy"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/stats"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// latency histogram shape: 1 ms buckets of 100 µs resolution would be too
+// coarse at the bottom and too short at the top, so buckets are 50 µs wide
+// with 4000 regular buckets (0–200 ms) plus overflow.
+const (
+	histWidthUs = 50
+	histBuckets = 4000
+)
+
+// config collects every knob of one load run.
+type config struct {
+	Proxies  int
+	Single   int
+	Multiple int
+	Caching  int
+	MaxHops  int
+	Seed     int64
+
+	Rate     float64       // offered arrival rate, req/s
+	Duration time.Duration // measurement window
+	Conns    int           // concurrent worker connections
+
+	Profile    string // paper | zipf | uniform
+	Population int
+	Alpha      float64
+	Warm       int // requests issued closed-loop before measuring
+
+	MaxActive  int
+	MaxQueue   int
+	NoCoalesce bool
+
+	JSONOut  bool
+	BenchOut bool
+	Quiet    bool
+}
+
+// proxyReport is the per-proxy slice of the report.
+type proxyReport struct {
+	ID        int    `json:"id"`
+	Requests  uint64 `json:"requests"`
+	LocalHits uint64 `json:"local_hits"`
+	Shed      uint64 `json:"shed"`
+	Coalesced uint64 `json:"coalesced_misses"`
+}
+
+// report is the outcome of one run, also the -json schema.
+type report struct {
+	OfferedRate  float64       `json:"offered_rate"`
+	AchievedRate float64       `json:"achieved_rate"`
+	Duration     time.Duration `json:"-"`
+	DurationSec  float64       `json:"duration_sec"`
+
+	Scheduled int    `json:"scheduled"`
+	Completed uint64 `json:"completed"`
+	Hits      uint64 `json:"hits"` // served by some proxy cache
+	Shed      uint64 `json:"shed"` // 429 from admission control
+	Errors    uint64 `json:"errors"`
+
+	// Latencies are in microseconds, measured from the scheduled arrival
+	// time (coordinated-omission corrected), shed replies included —
+	// a fast 429 is still a completed exchange the client observed.
+	P50us  float64 `json:"p50_us"`
+	P90us  float64 `json:"p90_us"`
+	P99us  float64 `json:"p99_us"`
+	P999us float64 `json:"p999_us"`
+
+	Farm    metrics.ProxyStats `json:"farm_totals"`
+	Proxies []proxyReport      `json:"proxies"`
+
+	hist *stats.Histogram
+}
+
+// HitRate is hits over completed non-shed requests.
+func (r *report) HitRate() float64 {
+	served := r.Completed - r.Shed
+	if served == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(served)
+}
+
+// objectStream pre-generates the request stream for the measurement window
+// plus warm-up, so the hot loop never touches a generator lock.
+func objectStream(cfg config, n int) ([]ids.ObjectID, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	switch cfg.Profile {
+	case "paper":
+		tr, err := workload.Materialize(workload.Config{
+			TotalRequests:  n,
+			PopulationSize: cfg.Population,
+			Alpha:          cfg.Alpha,
+			Seed:           cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return tr.Objects(), nil
+	case "zipf":
+		z, err := workload.NewZipf(cfg.Population, cfg.Alpha)
+		if err != nil {
+			return nil, err
+		}
+		objs := make([]ids.ObjectID, n)
+		for i := range objs {
+			objs[i] = ids.ObjectID(z.Rank(rng) + 1)
+		}
+		return objs, nil
+	case "uniform":
+		objs := make([]ids.ObjectID, n)
+		for i := range objs {
+			objs[i] = ids.ObjectID(rng.Intn(cfg.Population) + 1)
+		}
+		return objs, nil
+	default:
+		return nil, fmt.Errorf("adcload: unknown -profile %q (want paper, zipf or uniform)", cfg.Profile)
+	}
+}
+
+// run executes one complete load run: build farm, warm, drive open-loop,
+// aggregate. Split from main so the smoke test can call it in-process and
+// check for goroutine leaks afterwards.
+func run(cfg config) (*report, error) {
+	if cfg.Rate <= 0 {
+		return nil, fmt.Errorf("adcload: -rate must be positive, got %v", cfg.Rate)
+	}
+	if cfg.Conns <= 0 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("adcload: -conns and -duration must be positive")
+	}
+	total := int(cfg.Rate * cfg.Duration.Seconds())
+	if total < 1 {
+		total = 1
+	}
+	objs, err := objectStream(cfg, total+cfg.Warm)
+	if err != nil {
+		return nil, err
+	}
+
+	f, err := httpproxy.NewFarm(httpproxy.FarmConfig{
+		Proxies: cfg.Proxies,
+		Tables: core.Config{
+			SingleSize:   cfg.Single,
+			MultipleSize: cfg.Multiple,
+			CachingSize:  cfg.Caching,
+		},
+		MaxHops:    cfg.MaxHops,
+		Seed:       cfg.Seed,
+		MaxActive:  cfg.MaxActive,
+		MaxQueue:   cfg.MaxQueue,
+		NoCoalesce: cfg.NoCoalesce,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //nolint:errcheck // best-effort teardown
+
+	client := httpproxy.NewClient()
+	urlFor := func(i int64) string { return f.Proxies[int(i)%cfg.Proxies].URL() }
+
+	// Warm closed-loop: converge the mapping tables before the clock
+	// matters, like the paper's fill phase before the request phases.
+	// Sheds during warm-up are ignored — a tight gate (-max-active) must
+	// not abort the run before measurement starts.
+	if cfg.Warm > 0 {
+		var widx atomic.Int64
+		var werr atomic.Value
+		var wwg sync.WaitGroup
+		wwg.Add(cfg.Conns)
+		for w := 0; w < cfg.Conns; w++ {
+			go func(w int) {
+				defer wwg.Done()
+				prefix := "w" + strconv.Itoa(w) + "-"
+				for {
+					i := widx.Add(1) - 1
+					if i >= int64(cfg.Warm) || werr.Load() != nil {
+						return
+					}
+					if _, _, err := issue(client, urlFor(i), objs[i], prefix+strconv.FormatInt(i, 10)); err != nil {
+						werr.Store(err)
+						return
+					}
+				}
+			}(w)
+		}
+		wwg.Wait()
+		if err := werr.Load(); err != nil {
+			return nil, fmt.Errorf("adcload: warm-up: %w", err.(error))
+		}
+		objs = objs[cfg.Warm:]
+	}
+	interval := time.Duration(float64(time.Second) / cfg.Rate)
+
+	var (
+		next      atomic.Int64 // next request index to claim
+		completed atomic.Uint64
+		hits      atomic.Uint64
+		shed      atomic.Uint64
+		errs      atomic.Uint64
+		wg        sync.WaitGroup
+	)
+	hists := make([]*stats.Histogram, cfg.Conns)
+	start := time.Now()
+	wg.Add(cfg.Conns)
+	for w := 0; w < cfg.Conns; w++ {
+		go func(w int) {
+			defer wg.Done()
+			h := stats.NewHistogram(histBuckets, histWidthUs)
+			hists[w] = h
+			prefix := "l" + strconv.Itoa(w) + "-"
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(total) {
+					return
+				}
+				// Open-loop: request i belongs at start + i·interval.
+				// Sleep only when ahead of schedule; when behind, fire
+				// immediately and let the latency measurement (taken
+				// from sched, not from send) absorb the backlog.
+				sched := start.Add(time.Duration(i) * interval)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				hit, wasShed, err := issue(client, urlFor(i), objs[i], prefix+strconv.FormatInt(i, 10))
+				lat := time.Since(sched)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				completed.Add(1)
+				h.Add(int(lat.Microseconds()))
+				switch {
+				case wasShed:
+					shed.Add(1)
+				case hit:
+					hits.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := stats.NewHistogram(histBuckets, histWidthUs)
+	for _, h := range hists {
+		merged.Merge(h)
+	}
+	rep := &report{
+		OfferedRate:  cfg.Rate,
+		AchievedRate: float64(completed.Load()) / elapsed.Seconds(),
+		Duration:     elapsed,
+		DurationSec:  elapsed.Seconds(),
+		Scheduled:    total,
+		Completed:    completed.Load(),
+		Hits:         hits.Load(),
+		Shed:         shed.Load(),
+		Errors:       errs.Load(),
+		P50us:        merged.Quantile(0.50),
+		P90us:        merged.Quantile(0.90),
+		P99us:        merged.Quantile(0.99),
+		P999us:       merged.Quantile(0.999),
+		Farm:         f.TotalStats(),
+		hist:         merged,
+	}
+	for _, p := range f.Proxies {
+		s := p.Stats()
+		rep.Proxies = append(rep.Proxies, proxyReport{
+			ID:        int(p.ID()),
+			Requests:  s.Requests,
+			LocalHits: s.LocalHits,
+			Shed:      s.Shed,
+			Coalesced: s.CoalescedMisses,
+		})
+	}
+	return rep, nil
+}
+
+// issue performs one GET and classifies the outcome. A 429 is a shed, not
+// an error: admission control answering fast is the behaviour under test.
+func issue(client *http.Client, base string, obj ids.ObjectID, reqID string) (hit, wasShed bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, httpproxy.ObjectURL(base, obj), nil)
+	if err != nil {
+		return false, false, err
+	}
+	req.Header.Set(httpproxy.HeaderRequestID, reqID)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false, false, err
+	}
+	// Drain so the pooled connection is reusable.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close() //nolint:errcheck // read side
+	switch {
+	case resp.StatusCode == http.StatusTooManyRequests:
+		return false, true, nil
+	case resp.StatusCode != http.StatusOK:
+		return false, false, fmt.Errorf("adcload: %s: status %d", reqID, resp.StatusCode)
+	}
+	return resp.Header.Get(httpproxy.HeaderOrigin) != "1", false, nil
+}
+
+// printText renders the human-readable report.
+func printText(w io.Writer, rep *report) {
+	fmt.Fprintf(w, "offered   %10.0f req/s\n", rep.OfferedRate)
+	fmt.Fprintf(w, "achieved  %10.0f req/s  (%d/%d completed in %v)\n",
+		rep.AchievedRate, rep.Completed, rep.Scheduled, rep.Duration.Round(time.Millisecond))
+	fmt.Fprintf(w, "hits      %10d  (%.1f%% of served)\n", rep.Hits, 100*rep.HitRate())
+	fmt.Fprintf(w, "shed      %10d\nerrors    %10d\n", rep.Shed, rep.Errors)
+	fmt.Fprintf(w, "latency   p50 %v  p90 %v  p99 %v  p99.9 %v\n",
+		us(rep.P50us), us(rep.P90us), us(rep.P99us), us(rep.P999us))
+	fmt.Fprintln(w, "per proxy (requests / local hits / shed / coalesced):")
+	for _, p := range rep.Proxies {
+		fmt.Fprintf(w, "  proxy %2d  %8d / %8d / %6d / %6d\n",
+			p.ID, p.Requests, p.LocalHits, p.Shed, p.Coalesced)
+	}
+}
+
+func us(v float64) time.Duration {
+	return time.Duration(v) * time.Microsecond
+}
+
+// printBench emits the run as one `go test -bench`-shaped line so the
+// existing benchjson tooling can record and compare load runs.
+func printBench(w io.Writer, rep *report) {
+	nsPerOp := float64(rep.Duration.Nanoseconds())
+	if rep.Completed > 0 {
+		nsPerOp /= float64(rep.Completed)
+	}
+	fmt.Fprintf(w, "BenchmarkAdcloadOpenLoop %d %.1f ns/op %.1f req/s %.1f p50-us %.1f p99-us %.4f hit-rate\n",
+		rep.Completed, nsPerOp, rep.AchievedRate, rep.P50us, rep.P99us, rep.HitRate())
+}
+
+func main() {
+	var cfg config
+	flag.IntVar(&cfg.Proxies, "proxies", 8, "number of proxies in the farm")
+	flag.IntVar(&cfg.Single, "single", 4096, "single-location table size per proxy")
+	flag.IntVar(&cfg.Multiple, "multiple", 4096, "multiple-location table size per proxy")
+	flag.IntVar(&cfg.Caching, "caching", 2048, "caching table size per proxy")
+	flag.IntVar(&cfg.MaxHops, "max-hops", 0, "forwarding hop bound (0 = unbounded)")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload and peer-selection seed")
+	flag.Float64Var(&cfg.Rate, "rate", 2000, "offered arrival rate, req/s")
+	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "measurement window")
+	flag.IntVar(&cfg.Conns, "conns", 64, "concurrent client connections")
+	flag.StringVar(&cfg.Profile, "profile", "paper", "request profile: paper, zipf or uniform")
+	flag.IntVar(&cfg.Population, "population", 2048, "hot object population")
+	flag.Float64Var(&cfg.Alpha, "alpha", 0.8, "Zipf exponent (zipf and paper profiles)")
+	flag.IntVar(&cfg.Warm, "warm", 4096, "closed-loop warm-up requests before measuring")
+	flag.IntVar(&cfg.MaxActive, "max-active", 0, "per-proxy active-request bound (0 = default, <0 = unlimited)")
+	flag.IntVar(&cfg.MaxQueue, "max-queue", 0, "per-proxy admission queue bound (0 = default, <0 = none)")
+	flag.BoolVar(&cfg.NoCoalesce, "nocoalesce", false, "disable miss coalescing (ablation)")
+	flag.BoolVar(&cfg.JSONOut, "json", false, "emit the report as JSON on stdout")
+	flag.BoolVar(&cfg.BenchOut, "bench", false, "emit a go-bench-style line for benchjson")
+	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress the latency histogram")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	switch {
+	case cfg.JSONOut:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case cfg.BenchOut:
+		printBench(os.Stdout, rep)
+	default:
+		printText(os.Stdout, rep)
+		if !cfg.Quiet {
+			fmt.Println("\nlatency histogram (µs buckets):")
+			fmt.Print(rep.hist.String())
+		}
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}

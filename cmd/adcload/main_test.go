@@ -1,0 +1,114 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// smokeConfig is a short, low-rate run sized for CI: enough traffic to
+// produce hits but well under a second of wall time per phase.
+func smokeConfig() config {
+	return config{
+		Proxies:    2,
+		Single:     256,
+		Multiple:   256,
+		Caching:    128,
+		Seed:       1,
+		Rate:       500,
+		Duration:   time.Second,
+		Conns:      8,
+		Profile:    "zipf",
+		Population: 64,
+		Alpha:      0.8,
+		Warm:       256,
+	}
+}
+
+// TestRunSmoke is the farm-smoke gate: a short open-loop run must complete
+// every scheduled request without errors, serve a nonzero hit rate from a
+// warmed farm, and tear down without leaking goroutines.
+func TestRunSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	rep, err := run(smokeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run reported %d errors", rep.Errors)
+	}
+	if rep.Completed != uint64(rep.Scheduled) {
+		t.Errorf("completed %d of %d scheduled requests", rep.Completed, rep.Scheduled)
+	}
+	if rep.Hits == 0 {
+		t.Error("warmed farm served zero hits")
+	}
+	if rep.AchievedRate < rep.OfferedRate*0.5 {
+		t.Errorf("achieved %.0f req/s of %.0f offered — farm cannot sustain the smoke rate",
+			rep.AchievedRate, rep.OfferedRate)
+	}
+	if rep.P50us <= 0 || rep.P999us < rep.P50us {
+		t.Errorf("implausible latency quantiles: p50=%v p99.9=%v", rep.P50us, rep.P999us)
+	}
+	if len(rep.Proxies) != 2 {
+		t.Fatalf("report covers %d proxies, want 2", len(rep.Proxies))
+	}
+	var perProxy uint64
+	for _, p := range rep.Proxies {
+		perProxy += p.Requests
+	}
+	if perProxy < rep.Completed {
+		t.Errorf("proxies saw %d requests, fewer than the %d completed", perProxy, rep.Completed)
+	}
+
+	// Goroutine-leak check: everything run() started (farm servers,
+	// workers, pooled connections) must wind down once it returns. Idle
+	// HTTP connections take a beat to notice their server closed, so
+	// poll rather than assert immediately.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= before+2 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before run, %d after\n%s",
+				before, now, truncateStacks(string(buf[:n])))
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestObjectStreamProfiles checks every -profile generates the requested
+// stream length within the population, and unknown names fail.
+func TestObjectStreamProfiles(t *testing.T) {
+	cfg := smokeConfig()
+	for _, profile := range []string{"paper", "zipf", "uniform"} {
+		cfg.Profile = profile
+		objs, err := objectStream(cfg, 1000)
+		if err != nil {
+			t.Fatalf("%s: %v", profile, err)
+		}
+		if len(objs) != 1000 {
+			t.Errorf("%s: generated %d objects, want 1000", profile, len(objs))
+		}
+	}
+	cfg.Profile = "nope"
+	if _, err := objectStream(cfg, 10); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown profile must fail naming the profile, got %v", err)
+	}
+}
+
+// truncateStacks keeps leak dumps readable in CI logs.
+func truncateStacks(s string) string {
+	const max = 8 << 10
+	if len(s) <= max {
+		return s
+	}
+	return s[:max] + "\n... (truncated)"
+}

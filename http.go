@@ -29,6 +29,15 @@ type HTTPFarmConfig struct {
 	MaxHops int
 	// Seed drives random peer selection.
 	Seed int64
+	// MaxActive and MaxQueue bound each proxy's admission gate: at most
+	// MaxActive entry requests run while MaxQueue more wait; beyond that
+	// the proxy sheds with 429. Zero selects the built-in defaults,
+	// negative disables the bound (MaxActive) or the queue (MaxQueue).
+	MaxActive int
+	MaxQueue  int
+	// NoCoalesce disables miss coalescing (one upstream fetch shared by
+	// concurrent misses on the same cold object).
+	NoCoalesce bool
 }
 
 // NewHTTPFarm starts the origin server and all proxies. Close the farm
@@ -56,8 +65,11 @@ func NewHTTPFarm(cfg HTTPFarmConfig) (*HTTPFarm, error) {
 			MultipleSize: cfg.MultipleTable,
 			CachingSize:  cfg.CachingTable,
 		},
-		MaxHops: cfg.MaxHops,
-		Seed:    cfg.Seed,
+		MaxHops:    cfg.MaxHops,
+		Seed:       cfg.Seed,
+		MaxActive:  cfg.MaxActive,
+		MaxQueue:   cfg.MaxQueue,
+		NoCoalesce: cfg.NoCoalesce,
 	})
 	if err != nil {
 		return nil, err

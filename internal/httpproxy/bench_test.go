@@ -1,0 +1,149 @@
+package httpproxy
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// benchFarm builds a farm for throughput benchmarks and pre-warms it so the
+// steady state (mostly proxy hits, converged mapping tables) is what gets
+// measured — the regime the paper's testbed runs in after Phase 1.
+func benchFarm(b *testing.B, proxies, population int) (*Farm, *workload.Trace) {
+	b.Helper()
+	f, err := NewFarm(FarmConfig{
+		Proxies: proxies,
+		Tables:  core.Config{SingleSize: 4096, MultipleSize: 4096, CachingSize: 2048},
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = f.Close() })
+	tr, err := workload.Materialize(workload.Config{
+		TotalRequests:  4 * population,
+		PopulationSize: population,
+		OneTimerProb:   -1,
+		Seed:           7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, _, err := f.RunWorkloadN(tr.Cursor(), 7, 4); err != nil {
+		b.Fatal(err)
+	}
+	return f, tr
+}
+
+// driveFarm issues b.N requests over the warmed farm from `clients`
+// concurrent closed-loop workers and reports req/s.
+func driveFarm(b *testing.B, f *Farm, tr *workload.Trace, proxies, clients int) {
+	objs := tr.Objects()
+	var (
+		seq  atomic.Uint64
+		hits atomic.Uint64
+	)
+	b.SetParallelism(clients) // workers = clients × GOMAXPROCS
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			n := seq.Add(1)
+			obj := objs[n%uint64(len(objs))]
+			hit, err := f.Get(int(n)%proxies, obj, fmt.Sprintf("b%d-%d", n, i))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+			if hit {
+				hits.Add(1)
+			}
+		}
+	})
+	b.StopTimer()
+	if b.N > 100 && hits.Load() == 0 {
+		b.Fatal("warmed farm served zero hits")
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+}
+
+// BenchmarkFarmGet measures end-to-end request throughput of the HTTP farm
+// over real loopback sockets: one sequential client, then a fan-in of
+// concurrent clients (where connection pooling to the hot resolver is the
+// difference between reuse and a fresh handshake per forward). The
+// headline number for BENCH_farm.json is the req/s metric.
+func BenchmarkFarmGet(b *testing.B) {
+	const (
+		proxies    = 4
+		population = 256
+	)
+	b.Run("serial", func(b *testing.B) {
+		f, tr := benchFarm(b, proxies, population)
+		driveFarm(b, f, tr, proxies, 1)
+	})
+	b.Run("conc=16", func(b *testing.B) {
+		f, tr := benchFarm(b, proxies, population)
+		driveFarm(b, f, tr, proxies, 16)
+	})
+}
+
+// BenchmarkFarmMissStorm is the flash-crowd shape: per iteration, 32
+// concurrent clients request the same never-seen-before object through one
+// proxy. Without miss coalescing every client launches its own upstream
+// chain; with it they collapse into one. The origin-fetches/op metric is
+// the direct measure.
+func BenchmarkFarmMissStorm(b *testing.B) {
+	benchMissStorm(b, FarmConfig{
+		Proxies: 4,
+		Tables:  core.Config{SingleSize: 4096, MultipleSize: 4096, CachingSize: 2048},
+		Seed:    1,
+	})
+}
+
+// BenchmarkFarmMissStormNoCoalesce is the ablation: same storm with
+// singleflight disabled, so the origin-fetches/op gap is attributable to
+// coalescing alone.
+func BenchmarkFarmMissStormNoCoalesce(b *testing.B) {
+	benchMissStorm(b, FarmConfig{
+		Proxies:    4,
+		Tables:     core.Config{SingleSize: 4096, MultipleSize: 4096, CachingSize: 2048},
+		Seed:       1,
+		NoCoalesce: true,
+	})
+}
+
+func benchMissStorm(b *testing.B, cfg FarmConfig) {
+	b.Helper()
+	const stormClients = 32
+	f, err := NewFarm(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = f.Close() })
+	// Cold IDs: far above anything the warm-up or workload would touch.
+	next := uint64(1) << 50
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		obj := ids.ObjectID(next)
+		next++
+		var wg sync.WaitGroup
+		wg.Add(stormClients)
+		for c := 0; c < stormClients; c++ {
+			go func(c int) {
+				defer wg.Done()
+				if _, err := f.Get(0, obj, fmt.Sprintf("s%d-%d", i, c)); err != nil {
+					b.Error(err)
+				}
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(f.Origin.Resolved())/float64(b.N), "origin-fetches/op")
+}

@@ -31,6 +31,7 @@ type debugVars struct {
 	StoreLen    int                `json:"store_len"`
 	PendingLen  int                `json:"pending_len"`
 	Peers       int                `json:"peers"`
+	QueueDepth  int64              `json:"queue_depth"`
 }
 
 // registerDebug wires the introspection handlers into a proxy's mux.
@@ -45,11 +46,13 @@ func registerDebug(mux *http.ServeMux, p *Proxy) {
 }
 
 func (p *Proxy) handleVars(w http.ResponseWriter, r *http.Request) {
+	// Stats() folds in the off-lock shed/coalescing counters.
+	stats := p.Stats()
 	p.mu.Lock()
 	v := debugVars{
 		ID:          p.id.String(),
 		LocalTime:   p.localTime,
-		Stats:       p.stats,
+		Stats:       stats,
 		TableLen:    p.tables.Len(),
 		CachingLen:  p.tables.Caching().Len(),
 		MultipleLen: p.tables.Multiple().Len(),
@@ -57,6 +60,7 @@ func (p *Proxy) handleVars(w http.ResponseWriter, r *http.Request) {
 		StoreLen:    len(p.store),
 		PendingLen:  len(p.pending),
 		Peers:       len(p.peers),
+		QueueDepth:  p.gate.depth(),
 	}
 	p.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")

@@ -7,7 +7,6 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
-	"time"
 
 	"github.com/adc-sim/adc/internal/core"
 	"github.com/adc-sim/adc/internal/ids"
@@ -23,6 +22,9 @@ type Farm struct {
 	Origin  *Origin
 	Proxies []*Proxy
 
+	// client is the farm's client side: one pooled client shared by
+	// every Get (it used to be a fresh unpooled client per request).
+	client *http.Client
 	tracer *obs.Tracer
 }
 
@@ -52,6 +54,12 @@ type FarmConfig struct {
 	MaxHops int
 	// Seed drives the proxies' random peer selection.
 	Seed int64
+	// MaxActive/MaxQueue bound each proxy's admission gate
+	// (see Config; 0 = defaults, negative = unlimited / no queue).
+	MaxActive int
+	MaxQueue  int
+	// NoCoalesce disables per-proxy miss coalescing.
+	NoCoalesce bool
 }
 
 // NewFarm starts the origin and all proxies and wires the peer address
@@ -64,14 +72,17 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 	if err != nil {
 		return nil, err
 	}
-	f := &Farm{Origin: origin}
+	f := &Farm{Origin: origin, client: sharedClient}
 	for i := 0; i < cfg.Proxies; i++ {
 		p, err := NewProxy(Config{
-			ID:        ids.NodeID(i),
-			Tables:    cfg.Tables,
-			OriginURL: origin.URL(),
-			MaxHops:   cfg.MaxHops,
-			Seed:      cfg.Seed,
+			ID:         ids.NodeID(i),
+			Tables:     cfg.Tables,
+			OriginURL:  origin.URL(),
+			MaxHops:    cfg.MaxHops,
+			Seed:       cfg.Seed,
+			MaxActive:  cfg.MaxActive,
+			MaxQueue:   cfg.MaxQueue,
+			NoCoalesce: cfg.NoCoalesce,
 		})
 		if err != nil {
 			f.Close() //nolint:errcheck // already on the error path
@@ -87,6 +98,16 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		p.SetPeers(book)
 	}
 	return f, nil
+}
+
+// TotalStats aggregates every proxy's counters.
+func (f *Farm) TotalStats() metrics.ProxyStats {
+	var total metrics.ProxyStats
+	for _, p := range f.Proxies {
+		s := p.Stats()
+		total.Add(s)
+	}
+	return total
 }
 
 // Close shuts down every server in the farm.
@@ -117,14 +138,12 @@ func (f *Farm) Get(proxyIdx int, obj ids.ObjectID, reqID string) (hit bool, err 
 		e.To = p.ID()
 		f.tracer.Emit(e)
 	}
-	req, err := http.NewRequest(http.MethodGet,
-		p.URL()+objPathPrefix+strconv.FormatUint(uint64(obj), 10), nil)
+	req, err := http.NewRequest(http.MethodGet, ObjectURL(p.URL(), obj), nil)
 	if err != nil {
 		return false, err
 	}
 	req.Header.Set(HeaderRequestID, reqID)
-	client := &http.Client{Timeout: 30 * time.Second}
-	resp, err := client.Do(req)
+	resp, err := f.client.Do(req)
 	if err != nil {
 		return false, fmt.Errorf("httpproxy: get %v: %w", obj, err)
 	}

@@ -1,0 +1,82 @@
+package httpproxy
+
+import "sync/atomic"
+
+// Admission control. A proxy has finite concurrency: past some point every
+// extra in-flight request only adds queueing delay and, eventually, memory
+// pressure and collapse. The gate bounds entry-request concurrency with a
+// semaphore plus a bounded wait queue; requests beyond both are shed with
+// 429 Too Many Requests so the caller (and the load generator's shed
+// counters) see the overload instead of a growing tail.
+//
+// Only entry requests (X-Adc-Forwards == 0) pass the gate. Forwarded hops
+// already consumed an admission slot at their entry proxy, and gating them
+// mid-chain could deadlock a chain that revisits a saturated proxy.
+
+// Default admission bounds; Config.MaxActive/MaxQueue override.
+const (
+	defaultMaxActive = 1024
+	defaultMaxQueue  = 4096
+)
+
+// gate is a counting semaphore with a bounded waiting room. A nil *gate
+// admits everything.
+type gate struct {
+	sem      chan struct{}
+	queued   atomic.Int64
+	maxQueue int64
+}
+
+// newGate builds a gate admitting maxActive concurrent holders with up to
+// maxQueue waiters. maxActive < 0 disables admission control (nil gate);
+// maxQueue < 0 means shed immediately once the active slots are full.
+func newGate(maxActive, maxQueue int) *gate {
+	if maxActive == 0 {
+		maxActive = defaultMaxActive
+	}
+	if maxQueue == 0 {
+		maxQueue = defaultMaxQueue
+	}
+	if maxActive < 0 {
+		return nil
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &gate{sem: make(chan struct{}, maxActive), maxQueue: int64(maxQueue)}
+}
+
+// enter claims an admission slot, waiting in the bounded queue if the
+// active set is full. It reports false when the request must be shed.
+func (g *gate) enter() bool {
+	if g == nil {
+		return true
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return false
+	}
+	g.sem <- struct{}{}
+	g.queued.Add(-1)
+	return true
+}
+
+// leave releases a slot claimed by enter.
+func (g *gate) leave() {
+	if g != nil {
+		<-g.sem
+	}
+}
+
+// depth reports the current number of queued waiters (introspection).
+func (g *gate) depth() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.queued.Load()
+}

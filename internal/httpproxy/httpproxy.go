@@ -30,6 +30,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/adc-sim/adc/internal/core"
@@ -49,6 +50,13 @@ const (
 
 // objPathPrefix is the URL prefix objects are served under.
 const objPathPrefix = "/obj/"
+
+// ObjectURL returns the URL under base (a proxy or origin base URL) that
+// serves obj — the client-side counterpart of the /obj/<id> route, for
+// external drivers like cmd/adcload.
+func ObjectURL(base string, obj ids.ObjectID) string {
+	return base + objPathPrefix + strconv.FormatUint(uint64(obj), 10)
+}
 
 // parseObjectPath extracts the object ID from /obj/<id>.
 func parseObjectPath(path string) (ids.ObjectID, error) {
@@ -140,6 +148,11 @@ func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
 // the mapping tables and payload store are guarded by mu, which is never
 // held across an upstream fetch (holding it would deadlock on forwarding
 // loops, where the same proxy serves two requests of one chain).
+//
+// The serving path is production-shaped: upstream fetches go through the
+// shared pooled transport (client.go), concurrent misses on one object
+// collapse into a single upstream fetch (flight.go), and entry-request
+// concurrency is bounded with load shedding (gate.go).
 type Proxy struct {
 	id      ids.NodeID
 	ln      net.Listener
@@ -147,6 +160,16 @@ type Proxy struct {
 	client  *http.Client
 	origin  string
 	maxHops int
+
+	gate     *gate
+	flights  flightGroup
+	coalesce bool
+
+	// shed/coalesced are updated off-lock: shedding happens precisely
+	// when mu is contended, and a follower's ride-along should not
+	// serialize on the table lock just to count itself.
+	shed      atomic.Uint64
+	coalesced atomic.Uint64
 
 	mu        sync.Mutex
 	tables    *core.Tables
@@ -172,6 +195,16 @@ type Config struct {
 	MaxHops int
 	// Seed drives the random peer selection.
 	Seed int64
+	// MaxActive bounds concurrently served entry requests
+	// (0 = defaultMaxActive, negative = unlimited).
+	MaxActive int
+	// MaxQueue bounds entry requests waiting for an active slot before
+	// shedding kicks in (0 = defaultMaxQueue, negative = no queue).
+	MaxQueue int
+	// NoCoalesce disables miss coalescing (ablation and tests).
+	NoCoalesce bool
+	// Client overrides the shared pooled HTTP client (tests).
+	Client *http.Client
 }
 
 // NewProxy starts a proxy on a loopback port. Peers are introduced later
@@ -185,17 +218,23 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("httpproxy: proxy %v listen: %w", cfg.ID, err)
 	}
+	client := cfg.Client
+	if client == nil {
+		client = sharedClient
+	}
 	p := &Proxy{
-		id:      cfg.ID,
-		ln:      ln,
-		client:  &http.Client{Timeout: 30 * time.Second},
-		origin:  cfg.OriginURL,
-		maxHops: cfg.MaxHops,
-		tables:  tables,
-		store:   make(map[ids.ObjectID][]byte),
-		pending: make(map[string]int),
-		rng:     rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x1F3B)),
-		peerURL: make(map[ids.NodeID]string),
+		id:       cfg.ID,
+		ln:       ln,
+		client:   client,
+		origin:   cfg.OriginURL,
+		maxHops:  cfg.MaxHops,
+		gate:     newGate(cfg.MaxActive, cfg.MaxQueue),
+		coalesce: !cfg.NoCoalesce,
+		tables:   tables,
+		store:    make(map[ids.ObjectID][]byte),
+		pending:  make(map[string]int),
+		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x1F3B)),
+		peerURL:  make(map[ids.NodeID]string),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(objPathPrefix, p.handle)
@@ -239,12 +278,20 @@ func (p *Proxy) SetPeers(urls map[ids.NodeID]string) {
 	p.peerURL = urls
 }
 
-// Stats snapshots the proxy's counters.
+// Stats snapshots the proxy's counters, folding in the off-lock shed and
+// coalescing counts.
 func (p *Proxy) Stats() metrics.ProxyStats {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	s := p.stats
+	p.mu.Unlock()
+	s.Shed = p.shed.Load()
+	s.CoalescedMisses = p.coalesced.Load()
+	return s
 }
+
+// QueueDepth reports how many entry requests are waiting for an admission
+// slot right now.
+func (p *Proxy) QueueDepth() int64 { return p.gate.depth() }
 
 // CacheLen returns the number of stored payloads.
 func (p *Proxy) CacheLen() int {
@@ -270,6 +317,20 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	forwards, _ := strconv.Atoi(r.Header.Get(HeaderForwards))
 
+	// Admission control at the edge: entry requests beyond the bounded
+	// queue are shed with 429. Forwarded hops bypass the gate — they
+	// already hold a slot at their entry proxy, and gating them
+	// mid-chain could deadlock a chain revisiting a saturated proxy.
+	if forwards == 0 {
+		if !p.gate.enter() {
+			p.shed.Add(1)
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "proxy overloaded", http.StatusTooManyRequests)
+			return
+		}
+		defer p.gate.leave()
+	}
+
 	// Decide under the lock: local hit, or where to forward.
 	p.mu.Lock()
 	p.localTime++
@@ -293,6 +354,91 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	looped := p.pending[reqID] > 0
 	atMax := p.maxHops > 0 && forwards >= p.maxHops
+	p.mu.Unlock()
+
+	// Miss path. Entry requests coalesce: concurrent misses on one cold
+	// object share a single upstream chain (see flight.go for why
+	// forwarded hops must not join flights). Each waiter still runs its
+	// own Receive_Reply below.
+	var res flightResult
+	if p.coalesce && forwards == 0 && !looped && !atMax {
+		var shared bool
+		res, shared = p.flights.do(obj, func() flightResult {
+			return p.resolveMiss(obj, reqID, forwards, false, false)
+		})
+		if shared {
+			p.coalesced.Add(1)
+		}
+	} else {
+		res = p.resolveMiss(obj, reqID, forwards, looped, atMax)
+	}
+
+	if res.err != nil || res.status != http.StatusOK {
+		if res.err != nil {
+			http.Error(w, res.err.Error(), http.StatusBadGateway)
+			return
+		}
+		http.Error(w, "upstream status", res.status)
+		return
+	}
+
+	// Receive_Reply (Fig. 7): claim the resolver slot for origin data,
+	// learn the location, cache if the tables promote the object.
+	p.mu.Lock()
+	p.stats.RepliesSeen++
+	resolver := parseNodeID(res.hdr.Get(HeaderResolver))
+	if resolver == ids.None {
+		resolver = p.id
+	}
+	out := p.tables.Update(obj, resolver, p.localTime)
+	if out.To == core.KindCaching {
+		if out.From != core.KindCaching {
+			p.stats.CacheInsertions++
+		}
+		p.store[obj] = res.body
+	}
+	if out.CacheEvicted != nil {
+		p.stats.CacheEvictions++
+		delete(p.store, out.CacheEvicted.Object)
+	}
+	outArg := obs.EncodeOutcome(int(out.From), int(out.To),
+		out.CacheEvicted != nil, out.MultipleEvicted != nil, out.Dropped != nil)
+	p.tables.Recycle(out) // last read of the outcome
+	cached := res.hdr.Get(HeaderCached) == "1"
+	if !cached {
+		if _, stillCached := p.store[obj]; stillCached {
+			resolver = p.id
+			cached = true
+		}
+	}
+	if p.tracer.Enabled(obs.KindBackward) {
+		e := obs.Ev(obs.KindBackward, p.id)
+		e.Req = HashRequestID(reqID)
+		e.Obj = obj
+		e.Loc = resolver
+		e.Hops = int32(forwards)
+		e.Arg = outArg
+		p.tracer.Emit(e)
+	}
+	p.mu.Unlock()
+
+	w.Header().Set(HeaderResolver, resolver.String())
+	if cached {
+		w.Header().Set(HeaderCached, "1")
+	}
+	if res.hdr.Get(HeaderOrigin) == "1" {
+		w.Header().Set(HeaderOrigin, "1")
+	}
+	_, _ = w.Write(res.body)
+}
+
+// resolveMiss is the forwarding half of a miss: it registers the pending
+// pass for loop detection, picks the upstream (Forward_Addr, Fig. 6),
+// performs the fetch outside the lock (the chain may revisit us), and
+// retires the pending pass. looped/atMax carry the entry decision so the
+// stats and routing reason match what the caller observed.
+func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped, atMax bool) flightResult {
+	p.mu.Lock()
 	p.pending[reqID]++
 	var upstream string
 	upNode := ids.Origin
@@ -320,8 +466,8 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	p.mu.Unlock()
 
-	// Upstream fetch outside the lock (the chain may revisit us).
-	body, hdr, status, err := p.fetch(upstream, obj, reqID, forwards+1)
+	var res flightResult
+	res.body, res.hdr, res.status, res.err = p.fetch(upstream, obj, reqID, forwards+1)
 
 	p.mu.Lock()
 	// Retire the stored backwarding pass.
@@ -330,63 +476,8 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	} else {
 		delete(p.pending, reqID)
 	}
-	if err != nil || status != http.StatusOK {
-		p.mu.Unlock()
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
-			return
-		}
-		http.Error(w, "upstream status", status)
-		return
-	}
-
-	// Receive_Reply (Fig. 7): claim the resolver slot for origin data,
-	// learn the location, cache if the tables promote the object.
-	p.stats.RepliesSeen++
-	resolver := parseNodeID(hdr.Get(HeaderResolver))
-	if resolver == ids.None {
-		resolver = p.id
-	}
-	out := p.tables.Update(obj, resolver, p.localTime)
-	if out.To == core.KindCaching {
-		if out.From != core.KindCaching {
-			p.stats.CacheInsertions++
-		}
-		p.store[obj] = body
-	}
-	if out.CacheEvicted != nil {
-		p.stats.CacheEvictions++
-		delete(p.store, out.CacheEvicted.Object)
-	}
-	outArg := obs.EncodeOutcome(int(out.From), int(out.To),
-		out.CacheEvicted != nil, out.MultipleEvicted != nil, out.Dropped != nil)
-	p.tables.Recycle(out) // last read of the outcome
-	cached := hdr.Get(HeaderCached) == "1"
-	if !cached {
-		if _, stillCached := p.store[obj]; stillCached {
-			resolver = p.id
-			cached = true
-		}
-	}
-	if p.tracer.Enabled(obs.KindBackward) {
-		e := obs.Ev(obs.KindBackward, p.id)
-		e.Req = HashRequestID(reqID)
-		e.Obj = obj
-		e.Loc = resolver
-		e.Hops = int32(forwards)
-		e.Arg = outArg
-		p.tracer.Emit(e)
-	}
 	p.mu.Unlock()
-
-	w.Header().Set(HeaderResolver, resolver.String())
-	if cached {
-		w.Header().Set(HeaderCached, "1")
-	}
-	if hdr.Get(HeaderOrigin) == "1" {
-		w.Header().Set(HeaderOrigin, "1")
-	}
-	_, _ = w.Write(body)
+	return res
 }
 
 // forwardAddrLocked is Forward_Addr (Fig. 6); p.mu must be held. Besides
@@ -410,7 +501,7 @@ func (p *Proxy) forwardAddrLocked(obj ids.ObjectID) (string, ids.NodeID, int64) 
 
 // fetch issues the upstream GET carrying the ADC headers.
 func (p *Proxy) fetch(base string, obj ids.ObjectID, reqID string, forwards int) ([]byte, http.Header, int, error) {
-	req, err := http.NewRequest(http.MethodGet, base+objPathPrefix+strconv.FormatUint(uint64(obj), 10), nil)
+	req, err := http.NewRequest(http.MethodGet, ObjectURL(base, obj), nil)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("httpproxy: build upstream request: %w", err)
 	}

@@ -48,6 +48,15 @@ type ProxyStats struct {
 	// pending entry (expired, or a duplicate from a retransmitted
 	// chain); they are forwarded but never touch loop-detection state.
 	UnexpectedReplies uint64
+
+	// Shed counts entry requests rejected with 429 by admission
+	// control because the proxy's bounded queue was full (HTTP farm).
+	Shed uint64
+
+	// CoalescedMisses counts entry misses that shared a concurrent
+	// in-flight upstream fetch instead of launching their own
+	// (singleflight on the HTTP farm's miss path).
+	CoalescedMisses uint64
 }
 
 // Add accumulates other into s, for cluster-wide totals.
@@ -64,6 +73,8 @@ func (s *ProxyStats) Add(other ProxyStats) {
 	s.ExpiredPending += other.ExpiredPending
 	s.StaleInvalidated += other.StaleInvalidated
 	s.UnexpectedReplies += other.UnexpectedReplies
+	s.Shed += other.Shed
+	s.CoalescedMisses += other.CoalescedMisses
 }
 
 // LocalHitRate returns LocalHits/Requests for this proxy.

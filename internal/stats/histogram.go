@@ -36,6 +36,19 @@ func (h *Histogram) Add(v int) {
 	h.total++
 }
 
+// Merge folds other's counts into h. Both histograms must have identical
+// bucket layout; concurrent load-generator workers each fill a private
+// histogram and merge at the end, so the hot path never shares a lock.
+func (h *Histogram) Merge(other *Histogram) {
+	if h.width != other.width || len(h.buckets) != len(other.buckets) {
+		panic("stats: merging histograms with different layouts")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.total += other.total
+}
+
 // Total returns the number of observations.
 func (h *Histogram) Total() uint64 { return h.total }
 

@@ -5,6 +5,16 @@
 // distributed deployment — "we distributed the agents in such a fashion
 // that each host runs exactly one ADC-agent" (§V.1.2) — and the testbed
 // for its claim that distributed and single-process runs agree.
+//
+// The send path is built for sustained rates: each (sender, destination)
+// pair owns a dedicated writer goroutine fed by a bounded frame queue.
+// Senders encode outside any lock and enqueue; the writer dials outside
+// the peer map's lock (one unreachable peer never blocks sends to the
+// others), coalesces every frame already queued into a single write
+// syscall, and on a broken connection redials with backoff and resends
+// the pending batch instead of poisoning the connection cache. Delivery
+// across a reconnect is therefore at-least-once; the protocol layers
+// already tolerate duplicates (see ProxyStats.UnexpectedReplies).
 package transport
 
 import (
@@ -12,11 +22,29 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/msg"
 	"github.com/adc-sim/adc/internal/sim"
 	"github.com/adc-sim/adc/internal/wire"
+)
+
+// Tunables of the send path.
+const (
+	// sendQueueDepth bounds the per-destination frame queue. A full
+	// queue applies backpressure to the sender rather than dropping.
+	sendQueueDepth = 4096
+	// maxBatchBytes caps how many queued frames one write coalesces.
+	maxBatchBytes = 64 << 10
+	// redialAttempts bounds reconnection tries per batch before the
+	// batch is dropped (counted in Dropped).
+	redialAttempts = 10
+	// redialDelay spaces reconnection attempts; together with
+	// redialAttempts it defines the outage window a peer restart may
+	// use (~200 ms) without losing traffic.
+	redialDelay = 20 * time.Millisecond
 )
 
 // Network hosts a set of nodes, each behind its own TCP listener.
@@ -25,13 +53,15 @@ type Network struct {
 	endpoints map[ids.NodeID]*endpoint
 	addrs     map[ids.NodeID]string
 	wg        sync.WaitGroup
+	quit      chan struct{}
+	dropped   atomic.Uint64
 
 	mu      sync.Mutex
 	started bool
 	closed  bool
 }
 
-// endpoint is one node's listener plus its outgoing connection cache.
+// endpoint is one node's listener plus its outgoing peer links.
 type endpoint struct {
 	net  *Network
 	node sim.Node
@@ -41,9 +71,26 @@ type endpoint struct {
 	// logical mailbox even when several TCP peers deliver concurrently.
 	handleMu sync.Mutex
 
-	// connsMu guards the lazily dialed outgoing connections.
-	connsMu sync.Mutex
-	conns   map[ids.NodeID]net.Conn
+	// peersMu guards only the link map; dialing happens in the links'
+	// writer goroutines, never under this lock.
+	peersMu sync.Mutex
+	peers   map[ids.NodeID]*peerLink
+
+	// acceptedMu tracks inbound connections so shutdown (and the
+	// fault tests) can sever them.
+	acceptedMu sync.Mutex
+	accepted   map[net.Conn]struct{}
+}
+
+// peerLink is the sender half of one (endpoint, destination) pair.
+type peerLink struct {
+	addr string
+	ch   chan []byte
+
+	// mu guards conn, which the writer goroutine owns; shutdown closes
+	// it to unblock a writer stuck in Write.
+	mu   sync.Mutex
+	conn net.Conn
 }
 
 // NewNetwork returns an empty network.
@@ -51,6 +98,7 @@ func NewNetwork() *Network {
 	return &Network{
 		endpoints: make(map[ids.NodeID]*endpoint),
 		addrs:     make(map[ids.NodeID]string),
+		quit:      make(chan struct{}),
 	}
 }
 
@@ -69,10 +117,11 @@ func (nw *Network) Register(n sim.Node) error {
 		return fmt.Errorf("transport: listen for %v: %w", n.ID(), err)
 	}
 	nw.endpoints[n.ID()] = &endpoint{
-		net:   nw,
-		node:  n,
-		ln:    ln,
-		conns: make(map[ids.NodeID]net.Conn),
+		net:      nw,
+		node:     n,
+		ln:       ln,
+		peers:    make(map[ids.NodeID]*peerLink),
+		accepted: make(map[net.Conn]struct{}),
 	}
 	nw.addrs[n.ID()] = ln.Addr().String()
 	return nil
@@ -83,6 +132,10 @@ func (nw *Network) Addr(id ids.NodeID) (string, bool) {
 	a, ok := nw.addrs[id]
 	return a, ok
 }
+
+// Dropped returns how many outgoing batches were abandoned because their
+// destination stayed unreachable through the redial window.
+func (nw *Network) Dropped() uint64 { return nw.dropped.Load() }
 
 // Run starts the accept loops, injects Starter traffic, waits for done to
 // close, then tears everything down. Like the other runtimes, node state
@@ -118,6 +171,7 @@ func (nw *Network) Run(done <-chan struct{}) error {
 	nw.mu.Lock()
 	nw.closed = true
 	nw.mu.Unlock()
+	close(nw.quit)
 	for _, ep := range nw.endpoints {
 		ep.close()
 	}
@@ -137,6 +191,9 @@ func (ep *endpoint) acceptLoop() {
 		if err != nil {
 			return // listener closed during shutdown
 		}
+		ep.acceptedMu.Lock()
+		ep.accepted[conn] = struct{}{}
+		ep.acceptedMu.Unlock()
 		ep.net.wg.Add(1)
 		go func() {
 			defer ep.net.wg.Done()
@@ -146,7 +203,12 @@ func (ep *endpoint) acceptLoop() {
 }
 
 func (ep *endpoint) readLoop(conn net.Conn) {
-	defer conn.Close() //nolint:errcheck // best-effort close on a read path
+	defer func() {
+		conn.Close() //nolint:errcheck // best-effort close on a read path
+		ep.acceptedMu.Lock()
+		delete(ep.accepted, conn)
+		ep.acceptedMu.Unlock()
+	}()
 	for {
 		m, err := wire.ReadMessage(conn)
 		if err != nil {
@@ -158,57 +220,167 @@ func (ep *endpoint) readLoop(conn net.Conn) {
 	}
 }
 
-var _ sim.Context = (*endpoint)(nil)
-
-// Send implements sim.Context: it counts the hop, then writes the frame on
-// a cached connection to the destination, dialing on first use.
-func (ep *endpoint) Send(m msg.Message) {
-	sim.CountHop(m)
-	conn, err := ep.connTo(m.Dest())
-	if err != nil {
-		// During shutdown sends can race listener teardown; outside
-		// shutdown an unroutable destination is a wiring bug that
-		// surfaces as a stalled closed loop in tests.
-		return
-	}
-	if err := wire.WriteMessage(conn, m); err != nil {
-		// Drop the broken connection; the next send re-dials.
-		ep.connsMu.Lock()
-		if ep.conns[m.Dest()] == conn {
-			delete(ep.conns, m.Dest())
-		}
-		ep.connsMu.Unlock()
-		conn.Close() //nolint:errcheck // already on the error path
+// severInbound force-closes every accepted connection — shutdown support,
+// and the crash half of the reconnect tests (a peer restart severs all of
+// its TCP sessions while the listener comes back).
+func (ep *endpoint) severInbound() {
+	ep.acceptedMu.Lock()
+	defer ep.acceptedMu.Unlock()
+	for conn := range ep.accepted {
+		conn.Close() //nolint:errcheck // teardown path
 	}
 }
 
-func (ep *endpoint) connTo(dst ids.NodeID) (net.Conn, error) {
-	ep.connsMu.Lock()
-	defer ep.connsMu.Unlock()
-	if conn, ok := ep.conns[dst]; ok {
-		return conn, nil
+var _ sim.Context = (*endpoint)(nil)
+
+// Send implements sim.Context. The message is encoded immediately (the
+// caller may recycle it as soon as Send returns) and handed to the
+// destination's writer goroutine. A full queue blocks — backpressure, not
+// silent loss; shutdown unblocks it.
+func (ep *endpoint) Send(m msg.Message) {
+	sim.CountHop(m)
+	pl := ep.linkTo(m.Dest())
+	if pl == nil {
+		// During shutdown sends can race teardown; outside shutdown an
+		// unroutable destination is a wiring bug that surfaces as a
+		// stalled closed loop in tests.
+		return
+	}
+	frame, err := wire.AppendFrame(nil, m)
+	if err != nil {
+		return // unknown message type; nothing the wire can carry
+	}
+	select {
+	case pl.ch <- frame:
+	case <-ep.net.quit:
+	}
+}
+
+// linkTo returns the (lazily created) writer link for dst. Only the map
+// lookup happens under peersMu; dialing is the writer goroutine's job, so
+// one slow or unreachable peer never blocks senders to the others.
+func (ep *endpoint) linkTo(dst ids.NodeID) *peerLink {
+	ep.peersMu.Lock()
+	defer ep.peersMu.Unlock()
+	if pl, ok := ep.peers[dst]; ok {
+		return pl
 	}
 	if ep.net.isClosed() {
-		return nil, errors.New("transport: network closed")
+		return nil
 	}
 	addr, ok := ep.net.addrs[dst]
 	if !ok {
-		return nil, fmt.Errorf("transport: no address for %v", dst)
+		return nil
 	}
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %v: %w", dst, err)
+	pl := &peerLink{addr: addr, ch: make(chan []byte, sendQueueDepth)}
+	ep.peers[dst] = pl
+	ep.net.wg.Add(1)
+	go func() {
+		defer ep.net.wg.Done()
+		ep.writeLoop(pl)
+	}()
+	return pl
+}
+
+// writeLoop drains one destination's queue: every frame already queued is
+// coalesced into a single batched write (one syscall for many messages at
+// high rate), and a broken connection is redialed with the whole batch
+// resent.
+func (ep *endpoint) writeLoop(pl *peerLink) {
+	defer pl.closeConn()
+	batch := make([]byte, 0, maxBatchBytes)
+	for {
+		var frame []byte
+		select {
+		case frame = <-pl.ch:
+		case <-ep.net.quit:
+			return
+		}
+		batch = append(batch[:0], frame...)
+	coalesce:
+		for len(batch) < maxBatchBytes {
+			select {
+			case more := <-pl.ch:
+				batch = append(batch, more...)
+			default:
+				break coalesce
+			}
+		}
+		if !ep.writeBatch(pl, batch) {
+			ep.net.dropped.Add(1)
+		}
 	}
-	ep.conns[dst] = conn
-	return conn, nil
+}
+
+// writeBatch writes batch on the link's connection, dialing or redialing
+// as needed. It reports whether the batch was written.
+func (ep *endpoint) writeBatch(pl *peerLink, batch []byte) bool {
+	for attempt := 0; attempt < redialAttempts; attempt++ {
+		select {
+		case <-ep.net.quit:
+			return false
+		default:
+		}
+		conn := pl.current()
+		if conn == nil {
+			c, err := net.Dial("tcp", pl.addr)
+			if err != nil {
+				time.Sleep(redialDelay)
+				continue
+			}
+			if !pl.install(c, ep.net.quit) {
+				c.Close() //nolint:errcheck // lost the shutdown race
+				return false
+			}
+			conn = c
+		}
+		if _, err := conn.Write(batch); err == nil {
+			return true
+		}
+		// Broken connection: drop it and retry with a fresh dial
+		// instead of poisoning the link.
+		pl.closeConn()
+	}
+	return false
+}
+
+// current returns the link's live connection, nil if none.
+func (pl *peerLink) current() net.Conn {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.conn
+}
+
+// install adopts a freshly dialed connection unless shutdown has begun.
+func (pl *peerLink) install(c net.Conn, quit <-chan struct{}) bool {
+	select {
+	case <-quit:
+		return false
+	default:
+	}
+	pl.mu.Lock()
+	pl.conn = c
+	pl.mu.Unlock()
+	return true
+}
+
+// closeConn severs the link's connection (write failure or shutdown).
+func (pl *peerLink) closeConn() {
+	pl.mu.Lock()
+	conn := pl.conn
+	pl.conn = nil
+	pl.mu.Unlock()
+	if conn != nil {
+		conn.Close() //nolint:errcheck // teardown path
+	}
 }
 
 func (ep *endpoint) close() {
 	ep.ln.Close() //nolint:errcheck // shutdown path
-	ep.connsMu.Lock()
-	defer ep.connsMu.Unlock()
-	for id, conn := range ep.conns {
-		conn.Close() //nolint:errcheck // shutdown path
-		delete(ep.conns, id)
+	ep.severInbound()
+	ep.peersMu.Lock()
+	defer ep.peersMu.Unlock()
+	for _, pl := range ep.peers {
+		pl.closeConn()
 	}
 }

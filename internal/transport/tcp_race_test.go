@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+	"github.com/adc-sim/adc/internal/sim"
+)
+
+// sinkNode counts requests without replying — the receive side of the
+// send-path stress tests, where exact bookkeeping matters more than
+// protocol behaviour.
+type sinkNode struct {
+	id ids.NodeID
+	n  atomic.Uint64
+}
+
+func (s *sinkNode) ID() ids.NodeID { return s.id }
+func (s *sinkNode) Handle(_ sim.Context, m msg.Message) {
+	if _, ok := m.(*msg.Request); ok {
+		s.n.Add(1)
+	}
+}
+func (s *sinkNode) count() uint64 { return s.n.Load() }
+
+// waitCount polls until the sink has seen at least want messages.
+func waitCount(t *testing.T, s *sinkNode, want uint64, deadline time.Duration) {
+	t.Helper()
+	stop := time.Now().Add(deadline)
+	for s.count() < want {
+		if time.Now().After(stop) {
+			t.Fatalf("sink %v saw %d/%d messages before deadline", s.id, s.count(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestConcurrentSendsInterleaved hammers the writer-goroutine send path:
+// many goroutines on each side send interleaved frames in both directions
+// at once. Any frame corruption from interleaved batching would break the
+// wire decode, kill the read loop, and show up as a short count.
+func TestConcurrentSendsInterleaved(t *testing.T) {
+	const (
+		senders = 8
+		perSend = 400
+	)
+	nw := NewNetwork()
+	a := &sinkNode{id: 0}
+	b := &sinkNode{id: 1}
+	for _, n := range []*sinkNode{a, b} {
+		if err := nw.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() { runErr <- nw.Run(done) }()
+
+	var wg sync.WaitGroup
+	send := func(from, to ids.NodeID, worker int) {
+		defer wg.Done()
+		ep := nw.endpoints[from]
+		for i := 0; i < perSend; i++ {
+			ep.Send(&msg.Request{
+				To:     to,
+				ID:     ids.RequestID(worker*perSend + i),
+				Object: ids.ObjectID(i),
+				Client: from,
+				Sender: from,
+			})
+		}
+	}
+	wg.Add(2 * senders)
+	for w := 0; w < senders; w++ {
+		go send(0, 1, w)
+		go send(1, 0, senders+w)
+	}
+	wg.Wait()
+
+	const want = senders * perSend
+	waitCount(t, a, want, 10*time.Second)
+	waitCount(t, b, want, 10*time.Second)
+	close(done)
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.Dropped(); got != 0 {
+		t.Errorf("dropped %d batches on a healthy loopback network", got)
+	}
+	// No duplicates either: nothing severed a connection, so the
+	// at-least-once resend path must never have fired.
+	if a.count() != want || b.count() != want {
+		t.Errorf("counts = %d/%d, want exactly %d each", a.count(), b.count(), want)
+	}
+}
+
+// TestReconnectAfterPeerRestart severs every established connection into
+// the receiver mid-stream — the TCP half of a peer restart — and checks
+// that the sender's writer redials and traffic keeps flowing instead of
+// the old behaviour (a poisoned connection cache erroring forever).
+func TestReconnectAfterPeerRestart(t *testing.T) {
+	const target = 2000
+	nw := NewNetwork()
+	sink := &sinkNode{id: 0}
+	driver := &sinkNode{id: 1}
+	for _, n := range []*sinkNode{sink, driver} {
+		if err := nw.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() { runErr <- nw.Run(done) }()
+
+	ep := nw.endpoints[1]
+	severed := false
+	deadline := time.Now().Add(20 * time.Second)
+	for i := 0; sink.count() < target; i++ {
+		if time.Now().After(deadline) {
+			t.Fatalf("sink saw %d/%d messages before deadline (severed=%v)",
+				sink.count(), target, severed)
+		}
+		if !severed && sink.count() > target/4 {
+			nw.endpoints[0].severInbound()
+			severed = true
+		}
+		ep.Send(&msg.Request{
+			To:     0,
+			ID:     ids.RequestID(i),
+			Object: ids.ObjectID(i),
+			Client: 1,
+			Sender: 1,
+		})
+		if i%64 == 0 {
+			// Let the writer drain so the sever lands on a live
+			// connection rather than an empty queue.
+			time.Sleep(time.Millisecond)
+		}
+	}
+	if !severed {
+		t.Fatal("test never severed the connection; raise target")
+	}
+	close(done)
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("delivered %d (target %d) across a severed connection, dropped %d batches",
+		sink.count(), target, nw.Dropped())
+}

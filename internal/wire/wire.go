@@ -209,13 +209,27 @@ func Decode(frame []byte) (msg.Message, error) {
 	}
 }
 
+// AppendFrame appends m as one length-prefixed frame to buf (which may be
+// nil) and returns the extended slice. It is the allocation-friendly
+// building block for transports that batch several frames into one write:
+// append repeatedly, write once.
+func AppendFrame(buf []byte, m msg.Message) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf, err := Encode(buf, m)
+	if err != nil {
+		return nil, err
+	}
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(buf)-start-4))
+	return buf, nil
+}
+
 // WriteMessage frames m with a uint32 length prefix and writes it to w.
 func WriteMessage(w io.Writer, m msg.Message) error {
-	payload, err := Encode(make([]byte, 4), m)
+	payload, err := AppendFrame(make([]byte, 0, 64), m)
 	if err != nil {
 		return err
 	}
-	binary.LittleEndian.PutUint32(payload[:4], uint32(len(payload)-4))
 	if _, err := w.Write(payload); err != nil {
 		return fmt.Errorf("wire: write frame: %w", err)
 	}
