@@ -20,6 +20,14 @@ TABLES_BENCH = BenchmarkTablesUpdate|BenchmarkTablesLookup|BenchmarkVEngineADC$$
 # coalescing. Interpret req/s against num_cpu/gomaxprocs in the file.
 FARM_BENCH = BenchmarkFarmGet|BenchmarkFarmMissStorm
 
+# Hot-object replication benchmark tracked in BENCH_replication.json
+# (DESIGN.md "Hot-object replication"): the shifting-Zipf scenario with the
+# controller on, with the stock-ADC run on the identical stream embedded as
+# the baseline. The custom metrics carry the claim: mw-share (mean windowed
+# max/mean load share) and mw-peak-req (mean hottest-proxy receptions per
+# window) drop versus the baseline while p99-ticks and hit-rate hold.
+REPLICATION_BENCH = BenchmarkReplicationZipf
+
 # Parallel-engine scaling benchmark tracked in BENCH_parallel.json
 # (DESIGN.md "Parallel engine internals"): the 10k-proxy / 1M-client
 # workload on the sequential oracle and on the sharded engine at 1–8
@@ -27,7 +35,7 @@ FARM_BENCH = BenchmarkFarmGet|BenchmarkFarmMissStorm
 # benchjson compare warns when they differ between baseline and candidate.
 PARALLEL_BENCH = BenchmarkPEngineScaling
 
-.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-compare bench-sweep bench-profile loadtest trace-smoke figures clean
+.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-replication bench-replication-baseline bench-compare bench-sweep bench-profile loadtest trace-smoke figures clean
 
 all: build test
 
@@ -96,6 +104,22 @@ bench-parallel:
 	| $(GO) run ./cmd/benchjson -baseline BENCH_parallel_baseline.json > BENCH_parallel.json
 	@cat BENCH_parallel.json
 
+# Hot-object replication benchmark: the controller-on scenario, recorded
+# with the stock-ADC numbers (BENCH_replication_baseline.json) embedded.
+bench-replication:
+	{ $(GO) version; \
+	  $(GO) test -bench '$(REPLICATION_BENCH)' -benchtime 5x -run '^$$' ./internal/cluster/; } \
+	| $(GO) run ./cmd/benchjson -baseline BENCH_replication_baseline.json > BENCH_replication.json
+	@cat BENCH_replication.json
+
+# Re-records the stock-ADC baseline for bench-replication (same scenario,
+# controller off via ADC_REPLICATION=off).
+bench-replication-baseline:
+	{ $(GO) version; \
+	  ADC_REPLICATION=off $(GO) test -bench '$(REPLICATION_BENCH)' -benchtime 5x -run '^$$' ./internal/cluster/; } \
+	| $(GO) run ./cmd/benchjson > BENCH_replication_baseline.json
+	@cat BENCH_replication_baseline.json
+
 # Regression gate: compares the recorded table numbers against their
 # embedded baseline and fails on >10% ns/op regressions. The parallel
 # scaling file compares at a looser threshold: its subbenchmarks run once
@@ -105,6 +129,7 @@ bench-compare:
 	$(GO) run ./cmd/benchjson compare BENCH_engine.json
 	$(GO) run ./cmd/benchjson compare -threshold 20 BENCH_parallel.json
 	$(GO) run ./cmd/benchjson compare -threshold 20 BENCH_farm.json
+	$(GO) run ./cmd/benchjson compare -threshold 20 BENCH_replication.json
 
 # Sweep benchmarks compare the sequential and parallel runners; the rest
 # regenerate every headline number in EXPERIMENTS.md.

@@ -37,6 +37,7 @@ import (
 	"github.com/adc-sim/adc/internal/cluster"
 	"github.com/adc-sim/adc/internal/core"
 	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/proxy"
 	"github.com/adc-sim/adc/internal/sim"
 )
 
@@ -108,6 +109,12 @@ type Latency struct {
 	ProxyProxy  int64
 	ProxyOrigin int64
 	Service     int64
+	// QueueService serializes the Service component per receiving node
+	// (one message in service at a time), so overloaded proxies and the
+	// origin build real backlogs instead of paying a flat per-message
+	// cost. Requires RuntimeVirtualTime; uncontended messages cost the
+	// same either way.
+	QueueService bool
 }
 
 // TableBackend selects the ordered-table data structure.
@@ -216,6 +223,21 @@ type Config struct {
 	// Recovery take the reference defaults.
 	Recovery *Recovery
 
+	// Replication enables the hot-object replication controller, an
+	// extension beyond the paper's algorithm (requires ADC): objects
+	// that run hot at their holder get replicated to recent requesters,
+	// forwarding spreads traffic across the holders, and cold copies
+	// drop back to the stock single-location state. nil disables it;
+	// zero fields of a non-nil Replication take the reference defaults.
+	Replication *Replication
+
+	// ResponseBuckets, when positive, tracks response times in a
+	// histogram with that many buckets of ResponseBucketTicks virtual
+	// ticks each (default 500), enabling Result.P99Response. Requires
+	// RuntimeVirtualTime or RuntimeParallel.
+	ResponseBuckets     int
+	ResponseBucketTicks int
+
 	// Tracer records per-hop request-path events during the run
 	// (requires the sequential or virtual-time runtime). nil disables
 	// tracing at zero cost. See NewTracer.
@@ -283,6 +305,22 @@ type Recovery struct {
 	// PendingTTL expires proxy loop-detection entries whose reply never
 	// came back.
 	PendingTTL int64
+}
+
+// Replication parameterizes the opt-in hot-object replication controller.
+// Zero fields take the reference defaults (threshold 32 hits, 3 replicas,
+// window 1024 requests, drop below 1 hit/window).
+type Replication struct {
+	// HotThreshold is how many cache hits an object must collect within
+	// one window before its holder starts pushing replicas.
+	HotThreshold int
+	// MaxReplicas bounds the advertised holders beyond the primary.
+	MaxReplicas int
+	// Window is the controller's decay period in received requests.
+	Window int64
+	// DropThreshold is the minimum window hit count that keeps a
+	// replica copy alive across a window roll.
+	DropThreshold int
 }
 
 // withDefaults fills unset fields with the documented defaults.
@@ -359,10 +397,11 @@ func (c Config) toInternal() (cluster.Config, error) {
 	var latency sim.LatencyModel
 	if c.LatencyModel != nil {
 		latency = sim.LatencyModel{
-			ClientProxy: c.LatencyModel.ClientProxy,
-			ProxyProxy:  c.LatencyModel.ProxyProxy,
-			ProxyOrigin: c.LatencyModel.ProxyOrigin,
-			Service:     c.LatencyModel.Service,
+			ClientProxy:  c.LatencyModel.ClientProxy,
+			ProxyProxy:   c.LatencyModel.ProxyProxy,
+			ProxyOrigin:  c.LatencyModel.ProxyOrigin,
+			Service:      c.LatencyModel.Service,
+			QueueService: c.LatencyModel.QueueService,
 		}
 	}
 	backend, ok := core.ParseBackend(string(c.Backend))
@@ -405,6 +444,16 @@ func (c Config) toInternal() (cluster.Config, error) {
 			PendingTTL: c.Recovery.PendingTTL,
 		}
 	}
+	var replication proxy.Replication
+	if c.Replication != nil {
+		replication = proxy.Replication{
+			Enabled:       true,
+			HotThreshold:  c.Replication.HotThreshold,
+			MaxReplicas:   c.Replication.MaxReplicas,
+			Window:        c.Replication.Window,
+			DropThreshold: c.Replication.DropThreshold,
+		}
+	}
 	return cluster.Config{
 		Algorithm:  algo,
 		NumProxies: c.Proxies,
@@ -428,11 +477,14 @@ func (c Config) toInternal() (cluster.Config, error) {
 		OpenLoopInterval: c.OpenLoopInterval,
 		Poisson:          c.Poisson,
 		JoinProxyAt:      c.JoinProxyAt,
-		Faults:           faults,
-		Recovery:         recovery,
-		Tracer:           c.Tracer,
-		MetricsEvery:     c.MetricsEvery,
-		Shards:           c.Shards,
+		Faults:              faults,
+		Recovery:            recovery,
+		Replication:         replication,
+		Tracer:              c.Tracer,
+		MetricsEvery:        c.MetricsEvery,
+		ResponseBuckets:     c.ResponseBuckets,
+		ResponseBucketTicks: c.ResponseBucketTicks,
+		Shards:              c.Shards,
 	}, nil
 }
 
@@ -450,7 +502,8 @@ type Point struct {
 // ExpiredPending/StaleInvalidated/UnexpectedReplies belong to the recovery
 // extension and stay zero in paper-faithful runs; Shed and CoalescedMisses
 // belong to the HTTP farm's admission control and miss coalescing and stay
-// zero in simulator runs.
+// zero in simulator runs; ReplicaPushes/ReplicaDrops/ReplicaHits belong to
+// the hot-object replication extension and stay zero with replication off.
 type ProxyStats struct {
 	Requests          uint64
 	LocalHits         uint64
@@ -466,6 +519,9 @@ type ProxyStats struct {
 	UnexpectedReplies uint64
 	Shed              uint64
 	CoalescedMisses   uint64
+	ReplicaPushes     uint64
+	ReplicaDrops      uint64
+	ReplicaHits       uint64
 }
 
 // Result is the outcome of one simulation.
@@ -485,6 +541,17 @@ type Result struct {
 	// ticks; zero unless the run used RuntimeVirtualTime.
 	MeanResponse float64
 	MaxResponse  float64
+	// P99Response is the 99th-percentile response time in ticks; zero
+	// unless Config.ResponseBuckets was set.
+	P99Response float64
+	// MaxMeanShare and GiniShare measure how unevenly the request load
+	// spread over the proxies: busiest proxy's load over the mean
+	// (1.0 = even) and the Gini coefficient of the per-proxy request
+	// counts (0 = even). Under Zipf traffic stock ADC concentrates load
+	// on the head objects' holders; the replication extension exists to
+	// pull these numbers down.
+	MaxMeanShare float64
+	GiniShare    float64
 	// Series holds time-series samples when SampleEvery > 0.
 	Series []Point
 	// ProxyStats has one entry per proxy, indexed by proxy ID.
@@ -550,6 +617,9 @@ func convertResult(res *cluster.Result) *Result {
 		Elapsed:        res.Elapsed,
 		MeanResponse:   res.Summary.MeanResponse,
 		MaxResponse:    res.Summary.MaxResponse,
+		P99Response:    res.Summary.P99Response,
+		MaxMeanShare:   res.MaxMeanShare,
+		GiniShare:      res.GiniShare,
 		OriginResolved: res.OriginResolved,
 		Injected:       res.Injected,
 		Completion:     res.Completion,

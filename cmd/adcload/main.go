@@ -40,6 +40,7 @@ import (
 	"github.com/adc-sim/adc/internal/httpproxy"
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/proxy"
 	"github.com/adc-sim/adc/internal/stats"
 	"github.com/adc-sim/adc/internal/workload"
 )
@@ -74,6 +75,11 @@ type config struct {
 	MaxQueue   int
 	NoCoalesce bool
 
+	Replicate    bool // hot-object replication controller on
+	RepThreshold int  // window hit count that triggers pushes
+	RepMax       int  // max replicas beyond the primary holder
+	RepWindow    int  // controller decay window (requests per proxy)
+
 	JSONOut  bool
 	BenchOut bool
 	Quiet    bool
@@ -81,11 +87,14 @@ type config struct {
 
 // proxyReport is the per-proxy slice of the report.
 type proxyReport struct {
-	ID        int    `json:"id"`
-	Requests  uint64 `json:"requests"`
-	LocalHits uint64 `json:"local_hits"`
-	Shed      uint64 `json:"shed"`
-	Coalesced uint64 `json:"coalesced_misses"`
+	ID           int    `json:"id"`
+	Requests     uint64 `json:"requests"`
+	LocalHits    uint64 `json:"local_hits"`
+	Shed         uint64 `json:"shed"`
+	Coalesced    uint64 `json:"coalesced_misses"`
+	ReplicaHits  uint64 `json:"replica_hits,omitempty"`
+	ReplicaPush  uint64 `json:"replica_pushes,omitempty"`
+	ReplicaDrops uint64 `json:"replica_drops,omitempty"`
 }
 
 // report is the outcome of one run, also the -json schema.
@@ -192,6 +201,12 @@ func run(cfg config) (*report, error) {
 		MaxActive:  cfg.MaxActive,
 		MaxQueue:   cfg.MaxQueue,
 		NoCoalesce: cfg.NoCoalesce,
+		Replication: proxy.Replication{
+			Enabled:      cfg.Replicate,
+			HotThreshold: cfg.RepThreshold,
+			MaxReplicas:  cfg.RepMax,
+			Window:       int64(cfg.RepWindow),
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -308,11 +323,14 @@ func run(cfg config) (*report, error) {
 	for _, p := range f.Proxies {
 		s := p.Stats()
 		rep.Proxies = append(rep.Proxies, proxyReport{
-			ID:        int(p.ID()),
-			Requests:  s.Requests,
-			LocalHits: s.LocalHits,
-			Shed:      s.Shed,
-			Coalesced: s.CoalescedMisses,
+			ID:           int(p.ID()),
+			Requests:     s.Requests,
+			LocalHits:    s.LocalHits,
+			Shed:         s.Shed,
+			Coalesced:    s.CoalescedMisses,
+			ReplicaHits:  s.ReplicaHits,
+			ReplicaPush:  s.ReplicaPushes,
+			ReplicaDrops: s.ReplicaDrops,
 		})
 	}
 	return rep, nil
@@ -351,8 +369,18 @@ func printText(w io.Writer, rep *report) {
 	fmt.Fprintf(w, "shed      %10d\nerrors    %10d\n", rep.Shed, rep.Errors)
 	fmt.Fprintf(w, "latency   p50 %v  p90 %v  p99 %v  p99.9 %v\n",
 		us(rep.P50us), us(rep.P90us), us(rep.P99us), us(rep.P999us))
-	fmt.Fprintln(w, "per proxy (requests / local hits / shed / coalesced):")
+	replicated := rep.Farm.ReplicaPushes > 0 || rep.Farm.ReplicaHits > 0
+	if replicated {
+		fmt.Fprintln(w, "per proxy (requests / local hits / shed / coalesced / rep hits / pushes / drops):")
+	} else {
+		fmt.Fprintln(w, "per proxy (requests / local hits / shed / coalesced):")
+	}
 	for _, p := range rep.Proxies {
+		if replicated {
+			fmt.Fprintf(w, "  proxy %2d  %8d / %8d / %6d / %6d / %6d / %6d / %6d\n",
+				p.ID, p.Requests, p.LocalHits, p.Shed, p.Coalesced, p.ReplicaHits, p.ReplicaPush, p.ReplicaDrops)
+			continue
+		}
 		fmt.Fprintf(w, "  proxy %2d  %8d / %8d / %6d / %6d\n",
 			p.ID, p.Requests, p.LocalHits, p.Shed, p.Coalesced)
 	}
@@ -391,6 +419,10 @@ func main() {
 	flag.IntVar(&cfg.MaxActive, "max-active", 0, "per-proxy active-request bound (0 = default, <0 = unlimited)")
 	flag.IntVar(&cfg.MaxQueue, "max-queue", 0, "per-proxy admission queue bound (0 = default, <0 = none)")
 	flag.BoolVar(&cfg.NoCoalesce, "nocoalesce", false, "disable miss coalescing (ablation)")
+	flag.BoolVar(&cfg.Replicate, "replicate", false, "enable hot-object replication with load-aware routing")
+	flag.IntVar(&cfg.RepThreshold, "rep-threshold", 0, "replication: window hits before pushing (0 = default)")
+	flag.IntVar(&cfg.RepMax, "rep-max", 0, "replication: max replicas beyond the primary (0 = default)")
+	flag.IntVar(&cfg.RepWindow, "rep-window", 0, "replication: decay window in requests (0 = default)")
 	flag.BoolVar(&cfg.JSONOut, "json", false, "emit the report as JSON on stdout")
 	flag.BoolVar(&cfg.BenchOut, "bench", false, "emit a go-bench-style line for benchjson")
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress the latency histogram")

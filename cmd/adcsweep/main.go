@@ -11,6 +11,7 @@
 //	adcsweep -csv out.csv            # machine-readable output
 //	adcsweep -metric resilience      # hit rate & completion vs message loss
 //	adcsweep -metric convergence     # location-convergence time vs cache size
+//	adcsweep -metric loadspread      # load imbalance ± hot-object replication
 //
 // Reports go to stdout; progress and notices go to stderr (so piped CSV
 // stays clean). -quiet silences stderr entirely; -v adds debug detail.
@@ -44,7 +45,7 @@ func run(args []string) error {
 		scale      = fs.Float64("scale", 0.1, "scale of the paper's setup (1.0 = 3.99M requests)")
 		seed       = fs.Int64("seed", 1, "random seed")
 		proxies    = fs.Int("proxies", 5, "number of proxies")
-		metric     = fs.String("metric", "hits", "metric: hits, hops, time, resilience or convergence")
+		metric     = fs.String("metric", "hits", "metric: hits, hops, time, resilience, convergence or loadspread")
 		losses     = fs.String("losses", "", "resilience loss rates, comma-separated (default 0,0.005,0.01,0.02,0.05)")
 		recovery   = fs.String("recovery", "", "resilience recovery parameters, e.g. 'timeout=400000,retries=8' (empty = defaults)")
 		backend    = fs.String("backend", "", "ordered-table backend: btree (default), slice, skiplist or list")
@@ -61,9 +62,9 @@ func run(args []string) error {
 	}
 	log := clilog.FromFlags(*verbose, *quiet)
 	switch *metric {
-	case "hits", "hops", "time", "resilience", "convergence":
+	case "hits", "hops", "time", "resilience", "convergence", "loadspread":
 	default:
-		return fmt.Errorf("unknown metric %q (want hits, hops, time, resilience or convergence)", *metric)
+		return fmt.Errorf("unknown metric %q (want hits, hops, time, resilience, convergence or loadspread)", *metric)
 	}
 	if *shards < 0 {
 		return fmt.Errorf("-shards must be non-negative, got %d", *shards)
@@ -92,6 +93,11 @@ func run(args []string) error {
 		return stopProfiles()
 	case "convergence":
 		if err := runConvergence(profile, *csvPath, log); err != nil {
+			return err
+		}
+		return stopProfiles()
+	case "loadspread":
+		if err := runLoadSpread(profile, *csvPath, log); err != nil {
 			return err
 		}
 		return stopProfiles()
@@ -237,6 +243,59 @@ func runConvergence(profile adc.Profile, csvPath string, log *clilog.Logger) err
 		for _, pt := range pts {
 			fmt.Fprintf(f, "%d,%d,%d,%.1f,%d,%.6f\n",
 				pt.Size, pt.Objects, pt.Converged, pt.MeanTime, pt.MaxTime, pt.HitRate)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		log.Infof("wrote %s", csvPath)
+	}
+	return nil
+}
+
+// runLoadSpread runs the load-imbalance study: per-proxy load spread with
+// and without hot-object replication, against the hashing baselines, on an
+// open-loop shifting-Zipf stream. "mw share" / "mw peak" are the mean
+// windowed max/mean reception share and the mean hottest-proxy receptions
+// per window (warmup skipped) — the statistics where the transient
+// post-shift hotspot is visible; max/mean and gini are run totals.
+func runLoadSpread(profile adc.Profile, csvPath string, log *clilog.Logger) error {
+	pts, err := adc.ReplicationSweep(profile, adc.ReplicationOptions{})
+	log.EndProgress()
+	if err != nil {
+		return err
+	}
+
+	label := func(pt adc.ReplicationPoint) string {
+		if !pt.Replicated {
+			return pt.Algorithm
+		}
+		return fmt.Sprintf("%s t=%d r=%d", pt.Algorithm, pt.HotThreshold, pt.MaxReplicas)
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "config\thit rate\tp99 (ticks)\tmw share\tmw peak\tmax/mean\tgini\tcached\tpushes\tdrops\trep hits")
+	for _, pt := range pts {
+		fmt.Fprintf(w, "%s\t%.4f\t%.0f\t%.4f\t%.1f\t%.4f\t%.4f\t%d\t%d\t%d\t%d\n",
+			label(pt), pt.HitRate, pt.P99Response,
+			pt.MeanWindowShare, pt.MeanWindowPeak, pt.MaxMeanShare, pt.GiniShare,
+			pt.CachedEntries, pt.ReplicaPushes, pt.ReplicaDrops, pt.ReplicaHits)
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // close error checked below
+		fmt.Fprintln(f, "algorithm,replicated,hot_threshold,max_replicas,hit_rate,p99_ticks,mean_response,mw_share,mw_peak,max_mean_share,gini,cached_entries,pushes,drops,replica_hits")
+		for _, pt := range pts {
+			fmt.Fprintf(f, "%s,%v,%d,%d,%.6f,%.1f,%.1f,%.6f,%.2f,%.6f,%.6f,%d,%d,%d,%d\n",
+				pt.Algorithm, pt.Replicated, pt.HotThreshold, pt.MaxReplicas,
+				pt.HitRate, pt.P99Response, pt.MeanResponse,
+				pt.MeanWindowShare, pt.MeanWindowPeak, pt.MaxMeanShare, pt.GiniShare,
+				pt.CachedEntries, pt.ReplicaPushes, pt.ReplicaDrops, pt.ReplicaHits)
 		}
 		if err := f.Close(); err != nil {
 			return err

@@ -561,3 +561,97 @@ func ConvergenceSweep(p Profile, sizes []int) ([]ConvergencePoint, error) {
 	}
 	return out, nil
 }
+
+// ReplicationPoint is one cell of the hot-object replication sweep: one
+// algorithm (with the replication knobs set on replicated ADC rows) run
+// over the reference shifting-Zipf stream.
+type ReplicationPoint struct {
+	// Algorithm is "adc", "carp" or "chash"; Replicated marks the ADC
+	// rows with the controller on.
+	Algorithm    string
+	Replicated   bool
+	HotThreshold int
+	MaxReplicas  int
+	// HitRate, MeanResponse and P99Response summarise completed requests
+	// (virtual ticks).
+	HitRate      float64
+	MeanResponse float64
+	P99Response  float64
+	// MeanWindowShare and MeanWindowPeak are warmup-skipped windowed load
+	// statistics: the mean over metric windows of the per-window max/mean
+	// reception share, and of the hottest proxy's per-window receptions.
+	// The transient post-shift hotspot replication removes is visible
+	// only here, not in the run totals.
+	MeanWindowShare float64
+	MeanWindowPeak  float64
+	// MaxMeanShare and GiniShare are the run-total load spreads.
+	MaxMeanShare float64
+	GiniShare    float64
+	// CachedEntries is the cluster-wide cached-object count at the last
+	// occupancy snapshot — the capacity cost of multi-homing.
+	CachedEntries int
+	// Controller counters (zero on non-replicated rows).
+	ReplicaPushes uint64
+	ReplicaDrops  uint64
+	ReplicaHits   uint64
+}
+
+// ReplicationOptions parameterises the replication sweep; the zero value
+// selects the reference grid (thresholds 2/4/8 × max replicas 2/4/7) and
+// stream (30k requests, popularity shift every 3k, 100 hot objects,
+// Zipf alpha 2.0).
+type ReplicationOptions struct {
+	Thresholds  []int
+	MaxReplicas []int
+	Requests    int
+	Period      int
+	Population  int
+	Alpha       float64
+	// WorkloadSeed seeds the stream (0 = profile seed).
+	WorkloadSeed int64
+}
+
+// ReplicationSweep measures what hot-object replication buys across its
+// two knobs, against stock ADC and both hashing baselines on the identical
+// open-loop shifting-Zipf stream with queued service. The first three
+// points are the baselines (stock ADC, CARP, consistent hashing); the rest
+// is the threshold × max-replicas grid in row-major order.
+func ReplicationSweep(p Profile, opts ReplicationOptions) ([]ReplicationPoint, error) {
+	ip, err := p.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	pts, err := experiments.ReplicationSweep(ip, experiments.ReplicationOptions{
+		Thresholds:   opts.Thresholds,
+		MaxReplicas:  opts.MaxReplicas,
+		Requests:     opts.Requests,
+		Period:       opts.Period,
+		Population:   opts.Population,
+		Alpha:        opts.Alpha,
+		WorkloadSeed: opts.WorkloadSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ReplicationPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = ReplicationPoint{
+			Algorithm:       pt.Algorithm.String(),
+			Replicated:      pt.Replicated,
+			HotThreshold:    pt.HotThreshold,
+			MaxReplicas:     pt.MaxReplicas,
+			HitRate:         pt.HitRate,
+			MeanResponse:    pt.MeanResponse,
+			P99Response:     pt.P99Response,
+			MeanWindowShare: pt.MeanWindowShare,
+			MeanWindowPeak:  pt.MeanWindowPeak,
+			MaxMeanShare:    pt.MaxMeanShare,
+			GiniShare:       pt.GiniShare,
+			CachedEntries:   pt.CachedEntries,
+			ReplicaPushes:   pt.ReplicaPushes,
+			ReplicaDrops:    pt.ReplicaDrops,
+			ReplicaHits:     pt.ReplicaHits,
+		}
+	}
+	return out, nil
+}

@@ -17,8 +17,9 @@ import (
 // random forwarding and backwarding.
 //
 // Churn is applied between client requests (the only quiescent points of
-// a closed-loop run), so it is available on the deterministic sequential
-// runtime with a single client.
+// a closed-loop run), so it is available on the deterministic
+// single-threaded runtimes — sequential and virtual-time — with a single
+// closed-loop client.
 
 // validateChurn checks the churn-specific configuration constraints.
 func (c Config) validateChurn() error {
@@ -28,11 +29,14 @@ func (c Config) validateChurn() error {
 	if c.Algorithm != ADC {
 		return fmt.Errorf("cluster: proxy churn requires the ADC algorithm (hashing needs a global remap)")
 	}
-	if c.Runtime != RuntimeSequential {
-		return fmt.Errorf("cluster: proxy churn requires the sequential runtime")
+	if c.Runtime != RuntimeSequential && c.Runtime != RuntimeVirtualTime {
+		return fmt.Errorf("cluster: proxy churn requires the sequential or virtual-time runtime")
 	}
 	if c.Clients > 1 {
 		return fmt.Errorf("cluster: proxy churn requires a single client")
+	}
+	if c.OpenLoopInterval > 0 {
+		return fmt.Errorf("cluster: proxy churn requires a closed-loop client")
 	}
 	prev := uint64(0)
 	for i, at := range c.JoinProxyAt {
@@ -74,11 +78,17 @@ func (s *churnSource) Next() (ids.ObjectID, bool) {
 	return s.inner.Next()
 }
 
+// registrar is the engine-side hook addProxy needs; both the sequential
+// Engine and the virtual-time VEngine provide it.
+type registrar interface {
+	Register(n sim.Node) error
+}
+
 // addProxy grows the cluster by one ADC agent: register it with the live
 // engine, introduce it to every existing proxy's peer set and to the
 // client's entry set. The newcomer knows all peers from birth; everything
 // else it learns from traffic.
-func (c *Cluster) addProxy(eng *sim.Engine) error {
+func (c *Cluster) addProxy(eng registrar) error {
 	id := ids.NodeID(len(c.adcProxies))
 	peerIDs := make([]ids.NodeID, 0, len(c.adcProxies)+1)
 	for _, p := range c.adcProxies {
@@ -87,10 +97,11 @@ func (c *Cluster) addProxy(eng *sim.Engine) error {
 	peerIDs = append(peerIDs, id)
 
 	p, err := proxy.New(proxy.Config{
-		ID:     id,
-		Peers:  peerIDs,
-		Tables: c.cfg.Tables,
-		Seed:   c.cfg.Seed,
+		ID:          id,
+		Peers:       peerIDs,
+		Tables:      c.cfg.Tables,
+		Seed:        c.cfg.Seed,
+		Replication: c.cfg.Replication,
 	})
 	if err != nil {
 		return fmt.Errorf("cluster: join proxy %v: %w", id, err)

@@ -23,6 +23,7 @@ import (
 	"github.com/adc-sim/adc/internal/obs"
 	"github.com/adc-sim/adc/internal/proxy"
 	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/stats"
 	"github.com/adc-sim/adc/internal/trace"
 	"github.com/adc-sim/adc/internal/transport"
 	"github.com/adc-sim/adc/internal/workload"
@@ -206,6 +207,22 @@ type Config struct {
 	// RuntimeVirtualTime; the zero value is disabled.
 	Recovery sim.Recovery
 
+	// Replication enables the hot-object replication controller on every
+	// ADC proxy: hot entries become multi-homed, forwarding picks among
+	// the holders by power-of-two-choices on local load estimates, and
+	// cold copies drop back toward the stock single-location state (see
+	// proxy.Replication). Requires the ADC algorithm; the zero value
+	// keeps stock behavior byte-identical.
+	Replication proxy.Replication
+
+	// ResponseBuckets, when positive, gives every client a response-time
+	// histogram with that many buckets of ResponseBucketTicks width
+	// (default 500 ticks), enabling Result.Summary.P99Response. Requires
+	// a virtual-time runtime (RuntimeVirtualTime or RuntimeParallel),
+	// where response times exist.
+	ResponseBuckets     int
+	ResponseBucketTicks int
+
 	// Tracer, when non-nil, records per-hop request-path events across
 	// clients, proxies, the origin, and the engine's drop paths. Requires
 	// a deterministic engine (RuntimeSequential or RuntimeVirtualTime);
@@ -263,6 +280,21 @@ func (c Config) Validate() error {
 	if c.MetricsEvery > 0 && c.Runtime != RuntimeVirtualTime {
 		return fmt.Errorf("cluster: time-series metrics require the virtual-time runtime")
 	}
+	if err := c.Replication.Normalize().Validate(); err != nil {
+		return fmt.Errorf("cluster: %w", err)
+	}
+	if c.Replication.Enabled && c.Algorithm != ADC {
+		return fmt.Errorf("cluster: replication requires the ADC algorithm")
+	}
+	if c.ResponseBuckets < 0 || c.ResponseBucketTicks < 0 {
+		return fmt.Errorf("cluster: response histogram sizes must be non-negative")
+	}
+	if c.ResponseBuckets > 0 && c.Runtime != RuntimeVirtualTime && c.Runtime != RuntimeParallel {
+		return fmt.Errorf("cluster: response histograms require a virtual-time runtime")
+	}
+	if c.Latency.QueueService && c.Runtime != RuntimeVirtualTime {
+		return fmt.Errorf("cluster: queued service requires the virtual-time runtime")
+	}
 	if err := c.validateChurn(); err != nil {
 		return err
 	}
@@ -298,6 +330,28 @@ type Result struct {
 	// entries across ADC proxies at run end — the leaked state a lost
 	// reply leaves behind. Recovery's TTL drains it to zero.
 	LeakedPending int
+	// MaxMeanShare and GiniShare are load-imbalance statistics over the
+	// per-proxy request counts: how much hotter the busiest proxy runs
+	// than the average one (1.0 = perfectly even) and the Gini
+	// coefficient of the load distribution (0 = even, → 1 = one proxy
+	// takes everything). Backwarding's single-location convergence shows
+	// up here directly under Zipf traffic; the replication controller's
+	// job is to push both toward their even-spread ends.
+	MaxMeanShare float64
+	GiniShare    float64
+	// PeakWindowShare and PeakWindowRequests are the windowed versions of
+	// the load-imbalance statistics, computed from the per-proxy request
+	// deltas between consecutive time-series buckets (zero unless
+	// Config.MetricsEvery > 0). PeakWindowShare is the worst single-window
+	// max/mean ratio; PeakWindowRequests is the reception count at the
+	// hottest proxy in its worst window. Run-total spread hides transient
+	// hotspots — after a popularity shift, the new head object's single
+	// home absorbs every peer's forwards until the frequency filters
+	// re-admit it elsewhere, then the peak rotates to another proxy at
+	// the next shift — so only windowed statistics see the concentration
+	// replication is built to remove.
+	PeakWindowShare    float64
+	PeakWindowRequests uint64
 	// Buckets is the virtual-time-windowed metrics series (empty unless
 	// Config.MetricsEvery > 0).
 	Buckets []metrics.Bucket
@@ -359,6 +413,7 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 		cfg.Window = metrics.DefaultWindow
 	}
 	cfg.Recovery = cfg.Recovery.Normalize()
+	cfg.Replication = cfg.Replication.Normalize()
 
 	c := &Cluster{cfg: cfg}
 
@@ -375,11 +430,12 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 	case ADC:
 		for _, id := range proxyIDs {
 			p, err := proxy.New(proxy.Config{
-				ID:       id,
-				Peers:    proxyIDs,
-				Tables:   cfg.Tables,
-				Seed:     cfg.Seed,
-				Recovery: cfg.Recovery,
+				ID:          id,
+				Peers:       proxyIDs,
+				Tables:      cfg.Tables,
+				Seed:        cfg.Seed,
+				Recovery:    cfg.Recovery,
+				Replication: cfg.Replication,
 			})
 			if err != nil {
 				return nil, err
@@ -467,11 +523,19 @@ func New(cfg Config, src workload.Source) (*Cluster, error) {
 		return nil, err
 	}
 	for i, s := range sources {
-		collector := metrics.NewCollector(
+		copts := []metrics.Option{
 			metrics.WithWindow(cfg.Window),
 			metrics.WithSampleEvery(cfg.SampleEvery),
 			metrics.WithExpectedRequests(uint64(s.Total())),
-		)
+		}
+		if cfg.ResponseBuckets > 0 {
+			width := cfg.ResponseBucketTicks
+			if width == 0 {
+				width = 500
+			}
+			copts = append(copts, metrics.WithResponseHistogram(cfg.ResponseBuckets, width))
+		}
+		collector := metrics.NewCollector(copts...)
 		var (
 			cl  Driver
 			err error
@@ -549,10 +613,12 @@ func (c *Cluster) snapshotOccupancy(b *metrics.Bucket) {
 		tb := p.Tables()
 		b.Occupancy = append(b.Occupancy, tb.Len())
 		b.Cached = append(b.Cached, tb.Caching().Len())
+		b.ProxyRequests = append(b.ProxyRequests, p.Stats().Requests)
 	}
 	for _, p := range c.carpProxies {
 		b.Occupancy = append(b.Occupancy, p.CacheLen())
 		b.Cached = append(b.Cached, p.CacheLen())
+		b.ProxyRequests = append(b.ProxyRequests, p.Stats().Requests)
 	}
 }
 
@@ -636,6 +702,9 @@ func (c *Cluster) Run() (*Result, error) {
 			if err := eng.Register(n); err != nil {
 				return nil, err
 			}
+		}
+		if c.churn != nil {
+			c.churn.onJoin = func() error { return c.addProxy(eng) }
 		}
 		if plan := c.cfg.faultPlan(); plan != nil {
 			if err := eng.SetFaultPlan(plan); err != nil {
@@ -774,8 +843,18 @@ func (c *Cluster) collect(elapsed time.Duration) *Result {
 		Elapsed:   elapsed,
 	}
 	var merged metrics.Summary
+	var respHist *stats.Histogram
 	for i, cl := range c.clients {
 		s := cl.Collector().Summary()
+		if h := cl.Collector().ResponseHistogram(); h != nil {
+			// Merging into client 0's histogram is safe: collect runs
+			// once, after the run is over.
+			if respHist == nil {
+				respHist = h
+			} else {
+				respHist.Merge(h)
+			}
+		}
 		merged.Requests += s.Requests
 		merged.Hits += s.Hits
 		// Hops, PathLen and MeanResponse re-weight below.
@@ -800,6 +879,9 @@ func (c *Cluster) collect(elapsed time.Duration) *Result {
 		merged.PathLen /= float64(merged.Requests)
 		merged.MeanResponse /= float64(merged.Requests)
 	}
+	if respHist != nil {
+		merged.P99Response = respHist.Quantile(0.99)
+	}
 	merged.Elapsed = elapsed
 	res.Summary = merged
 
@@ -823,9 +905,102 @@ func (c *Cluster) collect(elapsed time.Duration) *Result {
 	if c.coordNode != nil {
 		res.ProxyStats = append(res.ProxyStats, c.coordNode.Stats())
 	}
+	if len(res.ProxyStats) > 0 {
+		shares := make([]float64, len(res.ProxyStats))
+		for i, s := range res.ProxyStats {
+			shares[i] = float64(s.Requests)
+		}
+		res.MaxMeanShare, _ = stats.MaxMeanRatio(shares)
+		res.GiniShare, _ = stats.Gini(shares)
+	}
 	res.OriginResolved = c.origin.Resolved()
 	res.Buckets = c.ts.Buckets()
+	res.PeakWindowShare, res.PeakWindowRequests = peakWindowLoad(res.Buckets)
 	return res
+}
+
+// MeanWindowLoad derives warmup-aware windowed load statistics from the
+// time-series buckets: the average over windows of the per-window max/mean
+// reception ratio, and the average per-window reception count at the
+// hottest proxy. The first skipWindows sealed buckets are excluded — cold
+// caches make every configuration behave identically during warmup, so
+// including it only dilutes differences (standard cache-experiment
+// methodology). Averaging over windows, instead of taking the single worst
+// window as Result.PeakWindowShare does, trades sensitivity for robustness:
+// a max is an extreme-value statistic and noisy run-to-run, while the mean
+// is stable enough for benchmark regression gates.
+func MeanWindowLoad(buckets []metrics.Bucket, skipWindows int) (share, peak float64) {
+	var prev []uint64
+	var n int
+	for i, b := range buckets {
+		cur := b.ProxyRequests
+		if len(cur) == 0 {
+			continue
+		}
+		if i >= skipWindows {
+			deltas := make([]float64, len(cur))
+			var total, mx float64
+			for j, c := range cur {
+				d := c
+				if j < len(prev) {
+					d -= prev[j]
+				}
+				deltas[j] = float64(d)
+				total += deltas[j]
+				if deltas[j] > mx {
+					mx = deltas[j]
+				}
+			}
+			if total > 0 {
+				mm, _ := stats.MaxMeanRatio(deltas)
+				share += mm
+				peak += mx
+				n++
+			}
+		}
+		prev = cur
+	}
+	if n > 0 {
+		share /= float64(n)
+		peak /= float64(n)
+	}
+	return share, peak
+}
+
+// peakWindowLoad derives the windowed load-imbalance statistics from the
+// per-proxy cumulative request snapshots in the time-series buckets: the
+// worst single-window max/mean ratio and the hottest proxy's reception
+// count in its worst window. Buckets missing snapshots (MetricsEvery off,
+// or non-ADC/CARP topologies) yield zeros. Proxies that join mid-run only
+// lengthen the snapshot vector, so indexes stay aligned across buckets.
+func peakWindowLoad(buckets []metrics.Bucket) (share float64, peak uint64) {
+	var prev []uint64
+	for _, b := range buckets {
+		cur := b.ProxyRequests
+		if len(cur) == 0 {
+			continue
+		}
+		deltas := make([]float64, len(cur))
+		var total float64
+		for i, c := range cur {
+			d := c
+			if i < len(prev) {
+				d -= prev[i]
+			}
+			if d > peak {
+				peak = d
+			}
+			deltas[i] = float64(d)
+			total += deltas[i]
+		}
+		if total > 0 {
+			if mm, err := stats.MaxMeanRatio(deltas); err == nil && mm > share {
+				share = mm
+			}
+		}
+		prev = cur
+	}
+	return share, peak
 }
 
 // Run builds and runs a cluster in one call.

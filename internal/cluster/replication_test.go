@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/adc-sim/adc/internal/core"
+	"github.com/adc-sim/adc/internal/proxy"
+	"github.com/adc-sim/adc/internal/sim"
+	"github.com/adc-sim/adc/internal/workload"
+)
+
+// zipfWorkload is a head-heavy stream: a small hot population under a steep
+// Zipf exponent, no one-timer pollution, so backwarding visibly converges
+// the head objects onto single holders and the load spread degrades.
+func zipfWorkload(t *testing.T, total int, seed int64) workload.Source {
+	t.Helper()
+	cfg := workload.DefaultConfig(total)
+	cfg.PopulationSize = 60
+	cfg.Alpha = 1.2
+	cfg.OneTimerProb = -1
+	cfg.Seed = seed
+	gen, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// replicationConfig is the shared cluster shape for the replication tests:
+// caches small enough that promotion competition is real, virtual time so
+// response percentiles exist.
+func replicationConfig(on bool) Config {
+	cfg := Config{
+		Algorithm:  ADC,
+		NumProxies: 4,
+		Tables:     core.Config{SingleSize: 512, MultipleSize: 512, CachingSize: 64},
+		Seed:       7,
+		Window:     100,
+		Runtime:    RuntimeVirtualTime,
+
+		ResponseBuckets:     512,
+		ResponseBucketTicks: 1000,
+	}
+	if on {
+		cfg.Replication = proxy.Replication{
+			Enabled:      true,
+			HotThreshold: 16,
+			MaxReplicas:  3,
+			Window:       256,
+		}
+	}
+	return cfg
+}
+
+func TestClusterReplicationValidate(t *testing.T) {
+	cfg := replicationConfig(true)
+	cfg.Algorithm = CARP
+	cfg.Tables = core.Config{CachingSize: 64}
+	if err := cfg.Validate(); err == nil {
+		t.Error("replication on CARP must be rejected")
+	}
+
+	cfg = replicationConfig(true)
+	cfg.Replication.MaxReplicas = -2
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative replication knob must be rejected")
+	}
+
+	cfg = replicationConfig(false)
+	cfg.Runtime = RuntimeSequential
+	if err := cfg.Validate(); err == nil {
+		t.Error("response histogram on the sequential runtime must be rejected")
+	}
+}
+
+// replicationScenario is the benchmark scenario for the hot-object
+// replication claim: 8 proxies on the virtual-time runtime under an
+// open-loop shifting-Zipf stream (alpha 2.0, popularity reshuffled every
+// epoch) with queued service so load actually queues, and windowed
+// per-proxy load snapshots every 50k ticks.
+//
+// A run-total load comparison is the wrong instrument here: stock ADC
+// self-balances over a whole run (replies retrace the request path, so
+// frequency admission multi-homes the head objects within an epoch and
+// the run-total max/mean reception share sits near 1.0 regardless).
+// The hotspot the controller attacks is the transient one right after
+// each popularity shift — it rotates across proxies, so it is visible
+// only in time-windowed statistics. See MeanWindowLoad.
+func replicationScenario(on bool) Config {
+	cfg := Config{
+		Algorithm:  ADC,
+		NumProxies: 8,
+		Clients:    8,
+		Tables:     core.Config{SingleSize: 1024, MultipleSize: 1024, CachingSize: 8},
+		Seed:       7,
+		Window:     100,
+		Runtime:    RuntimeVirtualTime,
+
+		OpenLoopInterval: 700,
+		Latency: sim.LatencyModel{
+			ClientProxy:  5_000,
+			ProxyProxy:   10_000,
+			ProxyOrigin:  50_000,
+			Service:      100,
+			QueueService: true,
+		},
+
+		ResponseBuckets:     4096,
+		ResponseBucketTicks: 1000,
+		MetricsEvery:        50_000,
+	}
+	if on {
+		cfg.Replication = proxy.Replication{
+			Enabled:      true,
+			HotThreshold: 2,
+			MaxReplicas:  7,
+			Window:       512,
+		}
+	}
+	return cfg
+}
+
+// replicationShift builds the matching workload: epochs long enough for
+// admission to converge, a head-heavy population so a handful of objects
+// carry most of the stream.
+func replicationShift(t testing.TB, seed int64) workload.Source {
+	t.Helper()
+	gen, err := workload.NewShift(workload.ShiftConfig{
+		TotalRequests: 30_000,
+		Period:        3_000,
+		Population:    100,
+		Alpha:         2.0,
+		Seed:          seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return gen
+}
+
+// replicationWarmup is the number of MetricsEvery windows covering the
+// first epoch, which both configurations spend identically filling cold
+// caches: one epoch is Period requests injected every OpenLoopInterval
+// ticks across Clients open loops.
+const replicationWarmup = int(3_000 * 700 / 8 / 50_000)
+
+// TestClusterReplicationZipf is the end-to-end claim of the replication
+// extension: under the shifting-Zipf scenario the controller activates
+// (pushes happen, pushed copies serve hits) and the time-windowed
+// per-proxy load spread improves over stock ADC on the identical stream.
+func TestClusterReplicationZipf(t *testing.T) {
+	off, err := Run(replicationScenario(false), replicationShift(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Run(replicationScenario(true), replicationShift(t, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var pushes, drops, hits uint64
+	for _, s := range on.ProxyStats {
+		pushes += s.ReplicaPushes
+		drops += s.ReplicaDrops
+		hits += s.ReplicaHits
+	}
+	if pushes == 0 || hits == 0 {
+		t.Fatalf("controller never engaged: pushes=%d drops=%d replica hits=%d", pushes, drops, hits)
+	}
+	for _, s := range off.ProxyStats {
+		if s.ReplicaPushes != 0 || s.ReplicaDrops != 0 || s.ReplicaHits != 0 {
+			t.Fatalf("replica counters must stay zero with replication off: %+v", s)
+		}
+	}
+
+	offShare, offPeak := MeanWindowLoad(off.Buckets, replicationWarmup)
+	onShare, onPeak := MeanWindowLoad(on.Buckets, replicationWarmup)
+	if offShare == 0 || onShare == 0 {
+		t.Fatal("windowed load snapshots missing; MetricsEvery plumbing broken")
+	}
+	if onShare >= offShare {
+		t.Errorf("windowed load spread did not improve: max/mean %.4f (on) vs %.4f (off)",
+			onShare, offShare)
+	}
+	if onPeak >= offPeak {
+		t.Errorf("hottest-proxy windowed load did not improve: %.2f (on) vs %.2f (off)",
+			onPeak, offPeak)
+	}
+	if off.Summary.P99Response == 0 {
+		t.Fatal("response histogram produced no p99")
+	}
+	// Replication must not wreck the hit rate: copies cost cache slots,
+	// so allow a small dip but no collapse.
+	if on.Summary.HitRate < off.Summary.HitRate*0.9 {
+		t.Errorf("hit rate collapsed under replication: %.4f (on) vs %.4f (off)",
+			on.Summary.HitRate, off.Summary.HitRate)
+	}
+	t.Logf("off: hit=%.4f p99=%.0f mws=%.4f mwp=%.1f",
+		off.Summary.HitRate, off.Summary.P99Response, offShare, offPeak)
+	t.Logf("on:  hit=%.4f p99=%.0f mws=%.4f mwp=%.1f pushes=%d drops=%d replica hits=%d",
+		on.Summary.HitRate, on.Summary.P99Response, onShare, onPeak, pushes, drops, hits)
+}
+
+// TestClusterReplicationDeterminism re-runs the replicated configuration and
+// demands identical results: the controller must not introduce any
+// iteration-order or timing nondeterminism.
+func TestClusterReplicationDeterminism(t *testing.T) {
+	run := func() *Result {
+		res, err := Run(replicationConfig(true), zipfWorkload(t, 10_000, 5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	a.Elapsed, b.Elapsed = 0, 0
+	a.Summary.Elapsed, b.Summary.Elapsed = 0, 0
+	if a.Summary != b.Summary {
+		t.Errorf("summaries differ across runs:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+	if !reflect.DeepEqual(a.ProxyStats, b.ProxyStats) {
+		t.Errorf("proxy stats differ across runs:\n%+v\n%+v", a.ProxyStats, b.ProxyStats)
+	}
+	if a.MaxMeanShare != b.MaxMeanShare || a.GiniShare != b.GiniShare {
+		t.Errorf("spread stats differ: %v/%v vs %v/%v",
+			a.MaxMeanShare, a.GiniShare, b.MaxMeanShare, b.GiniShare)
+	}
+}
+
+// BenchmarkReplicationZipf runs the replication benchmark scenario and
+// reports, alongside ns/op, the windowed load statistics and the response
+// p99 as custom metrics — the numbers `make bench-replication` records in
+// BENCH_replication.json. ADC_REPLICATION=off benchmarks stock ADC on the
+// identical stream; that run is the committed baseline
+// (BENCH_replication_baseline.json) the replicated numbers embed, so
+// `benchjson compare` shows the controller's effect directly:
+// mw-share and mw-peak-req drop, p99 and hit rate hold.
+func BenchmarkReplicationZipf(b *testing.B) {
+	on := os.Getenv("ADC_REPLICATION") != "off"
+	var share, peak, p99, hit float64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(replicationScenario(on), replicationShift(b, 3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		share, peak = MeanWindowLoad(res.Buckets, replicationWarmup)
+		p99 = res.Summary.P99Response
+		hit = res.Summary.HitRate
+	}
+	b.ReportMetric(share, "mw-share")
+	b.ReportMetric(peak, "mw-peak-req")
+	b.ReportMetric(p99, "p99-ticks")
+	b.ReportMetric(hit, "hit-rate")
+}

@@ -57,6 +57,15 @@ type Entry struct {
 	// Hits counts how many times the object has been requested here.
 	Hits int64
 
+	// Replicas is the bounded set of additional proxies known to hold the
+	// object, beyond Location — the hot-object replication extension
+	// (nil in stock ADC, where backwarding converges every object to one
+	// location). The set is kept sorted ascending and never contains
+	// Location, so routing and advertisement stay deterministic. Replicas
+	// does not participate in Key, so it may be mutated while the entry
+	// sits in an ordered table.
+	Replicas []ids.NodeID
+
 	// noAge freezes the aging term in Key for the aging-off ablation
 	// (Config.AgingOff); entries of one proxy all share the setting.
 	noAge bool

@@ -8,6 +8,7 @@ import (
 
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/transport"
 )
 
 // Live introspection endpoints, registered on every proxy's mux:
@@ -32,6 +33,44 @@ type debugVars struct {
 	PendingLen  int                `json:"pending_len"`
 	Peers       int                `json:"peers"`
 	QueueDepth  int64              `json:"queue_depth"`
+
+	// Replication is present when the hot-object replication controller
+	// is enabled: the push/drop/hit counters (duplicated from Stats for
+	// quick grepping) plus the controller's live tracked-set size.
+	Replication *replicationVars `json:"replication,omitempty"`
+
+	// Network is present when a TCP transport network is attached
+	// (Farm.AttachNetwork): dropped batches and per-destination
+	// send-queue depths.
+	Network *NetworkVars `json:"network,omitempty"`
+}
+
+// replicationVars is the replication section of /debug/vars.
+type replicationVars struct {
+	Pushes  uint64 `json:"pushes"`
+	Drops   uint64 `json:"drops"`
+	Hits    uint64 `json:"hits"`
+	Tracked int    `json:"tracked"`
+	Held    int    `json:"held"`
+}
+
+// NetworkVars is the transport-network section of /debug/vars.
+type NetworkVars struct {
+	// Dropped counts outgoing batches the transport abandoned because
+	// their destination stayed unreachable through the redial window.
+	Dropped uint64 `json:"dropped"`
+	// Queues is the instantaneous per-destination send-queue depth,
+	// sorted by (from, to).
+	Queues []transport.QueueDepth `json:"queues"`
+}
+
+// SetNetworkVars installs (or, with nil, removes) the provider for the
+// network section of /debug/vars. The provider is called outside the
+// proxy's lock; it must be safe for concurrent use.
+func (p *Proxy) SetNetworkVars(fn func() NetworkVars) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.netVars = fn
 }
 
 // registerDebug wires the introspection handlers into a proxy's mux.
@@ -62,7 +101,22 @@ func (p *Proxy) handleVars(w http.ResponseWriter, r *http.Request) {
 		Peers:       len(p.peers),
 		QueueDepth:  p.gate.depth(),
 	}
+	if p.replica != nil {
+		v.Replication = &replicationVars{
+			Pushes:  stats.ReplicaPushes,
+			Drops:   stats.ReplicaDrops,
+			Hits:    stats.ReplicaHits,
+			Tracked: len(p.replica.tracked),
+			Held:    len(p.replica.held),
+		}
+	}
+	netFn := p.netVars
 	p.mu.Unlock()
+	if netFn != nil {
+		// Outside p.mu: the provider reads the transport's own locks.
+		nv := netFn()
+		v.Network = &nv
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

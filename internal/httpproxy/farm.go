@@ -12,7 +12,9 @@ import (
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/obs"
+	"github.com/adc-sim/adc/internal/proxy"
 	"github.com/adc-sim/adc/internal/trace"
+	"github.com/adc-sim/adc/internal/transport"
 	"github.com/adc-sim/adc/internal/workload"
 )
 
@@ -60,6 +62,9 @@ type FarmConfig struct {
 	MaxQueue  int
 	// NoCoalesce disables per-proxy miss coalescing.
 	NoCoalesce bool
+	// Replication configures hot-object replication on every proxy
+	// (zero value = stock ADC).
+	Replication proxy.Replication
 }
 
 // NewFarm starts the origin and all proxies and wires the peer address
@@ -80,9 +85,10 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 			OriginURL:  origin.URL(),
 			MaxHops:    cfg.MaxHops,
 			Seed:       cfg.Seed,
-			MaxActive:  cfg.MaxActive,
-			MaxQueue:   cfg.MaxQueue,
-			NoCoalesce: cfg.NoCoalesce,
+			MaxActive:   cfg.MaxActive,
+			MaxQueue:    cfg.MaxQueue,
+			NoCoalesce:  cfg.NoCoalesce,
+			Replication: cfg.Replication,
 		})
 		if err != nil {
 			f.Close() //nolint:errcheck // already on the error path
@@ -98,6 +104,22 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 		p.SetPeers(book)
 	}
 	return f, nil
+}
+
+// AttachNetwork surfaces a TCP transport network's health counters —
+// dropped batches and per-destination send-queue depths — in every
+// proxy's /debug/vars, next to the farm's own shed/queue_depth fields.
+// Pass nil to detach.
+func (f *Farm) AttachNetwork(nw *transport.Network) {
+	var fn func() NetworkVars
+	if nw != nil {
+		fn = func() NetworkVars {
+			return NetworkVars{Dropped: nw.Dropped(), Queues: nw.QueueDepths()}
+		}
+	}
+	for _, p := range f.Proxies {
+		p.SetNetworkVars(fn)
+	}
 }
 
 // TotalStats aggregates every proxy's counters.

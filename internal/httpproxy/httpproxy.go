@@ -37,6 +37,7 @@ import (
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
 	"github.com/adc-sim/adc/internal/obs"
+	"github.com/adc-sim/adc/internal/proxy"
 )
 
 // Header names of the ADC-over-HTTP protocol.
@@ -181,6 +182,8 @@ type Proxy struct {
 	localTime int64
 	stats     metrics.ProxyStats
 	tracer    *obs.Tracer
+	replica   *replicator        // nil = stock ADC (replication off)
+	netVars   func() NetworkVars // optional transport-network section of /debug/vars
 }
 
 // Config assembles one HTTP proxy.
@@ -203,6 +206,9 @@ type Config struct {
 	MaxQueue int
 	// NoCoalesce disables miss coalescing (ablation and tests).
 	NoCoalesce bool
+	// Replication configures the hot-object replication controller
+	// (see internal/proxy; zero value = stock ADC).
+	Replication proxy.Replication
 	// Client overrides the shared pooled HTTP client (tests).
 	Client *http.Client
 }
@@ -213,6 +219,10 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	tables, err := core.NewTables(cfg.Tables)
 	if err != nil {
 		return nil, err
+	}
+	repCfg := cfg.Replication.Normalize()
+	if err := repCfg.Validate(); err != nil {
+		return nil, fmt.Errorf("httpproxy: proxy %v: %w", cfg.ID, err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -235,6 +245,9 @@ func NewProxy(cfg Config) (*Proxy, error) {
 		pending:  make(map[string]int),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x1F3B)),
 		peerURL:  make(map[ids.NodeID]string),
+	}
+	if repCfg.Enabled {
+		p.replica = newReplicator(repCfg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(objPathPrefix, p.handle)
@@ -276,6 +289,9 @@ func (p *Proxy) SetPeers(urls map[ids.NodeID]string) {
 		}
 	}
 	p.peerURL = urls
+	if p.replica != nil {
+		p.replica.sizeLoad(p.peers)
+	}
 }
 
 // Stats snapshots the proxy's counters, folding in the off-lock shed and
@@ -335,9 +351,21 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	p.mu.Lock()
 	p.localTime++
 	p.stats.Requests++
+	if p.replica != nil && p.localTime%p.replica.cfg.Window == 0 {
+		p.rollWindowLocked()
+	}
 	if payload, ok := p.store[obj]; ok {
 		p.stats.LocalHits++
+		prevLoc := ids.None
+		if p.replica != nil {
+			p.noteHitLocked(obj)
+			prevLoc, _ = p.tables.ForwardLocation(obj)
+		}
 		p.tables.Recycle(p.tables.Update(obj, p.id, p.localTime))
+		var adv advertisement
+		if p.replica != nil {
+			adv = p.maybePushLocked(obj, prevLoc, parseNodeID(r.Header.Get(HeaderSender)))
+		}
 		if p.tracer.Enabled(obs.KindHit) {
 			e := obs.Ev(obs.KindHit, p.id)
 			e.Req = HashRequestID(reqID)
@@ -349,6 +377,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		p.mu.Unlock()
 		w.Header().Set(HeaderResolver, p.id.String())
 		w.Header().Set(HeaderCached, "1")
+		adv.set(w.Header())
 		_, _ = w.Write(payload)
 		return
 	}
@@ -404,6 +433,9 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	outArg := obs.EncodeOutcome(int(out.From), int(out.To),
 		out.CacheEvicted != nil, out.MultipleEvicted != nil, out.Dropped != nil)
 	p.tables.Recycle(out) // last read of the outcome
+	if p.replica != nil {
+		p.learnReplicasLocked(obj, resolver, res.hdr, res.body)
+	}
 	cached := res.hdr.Get(HeaderCached) == "1"
 	if !cached {
 		if _, stillCached := p.store[obj]; stillCached {
@@ -429,6 +461,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	if res.hdr.Get(HeaderOrigin) == "1" {
 		w.Header().Set(HeaderOrigin, "1")
 	}
+	propagateReplication(w.Header(), res.hdr)
 	_, _ = w.Write(res.body)
 }
 
@@ -484,6 +517,9 @@ func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped
 // the upstream URL it reports the destination node and the routing reason
 // for the trace.
 func (p *Proxy) forwardAddrLocked(obj ids.ObjectID) (string, ids.NodeID, int64) {
+	if p.replica != nil {
+		return p.forwardAddrReplicatedLocked(obj)
+	}
 	if loc, ok := p.tables.ForwardLocation(obj); ok {
 		if loc == p.id {
 			p.stats.ForwardOrigin++
@@ -507,6 +543,11 @@ func (p *Proxy) fetch(base string, obj ids.ObjectID, reqID string, forwards int)
 	}
 	req.Header.Set(HeaderRequestID, reqID)
 	req.Header.Set(HeaderForwards, strconv.Itoa(forwards))
+	if p.replica != nil {
+		// Identify this proxy as the forwarding hop so a holder upstream
+		// knows which recent requester a replica push should target.
+		req.Header.Set(HeaderSender, p.id.String())
+	}
 	resp, err := p.client.Do(req)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("httpproxy: upstream fetch: %w", err)

@@ -47,6 +47,10 @@ type Collector struct {
 	// when the run executes on the virtual-time engine.
 	response stats.Online
 
+	// respHist optionally buckets response times so tail quantiles (p99)
+	// can be read; nil unless WithResponseHistogram was given.
+	respHist *stats.Histogram
+
 	// Recovery-protocol counters (fault-injected runs only; all zero in
 	// the paper-faithful lossless mode).
 	retries      uint64
@@ -80,6 +84,14 @@ func WithSampleEvery(n uint64) Option {
 // growing append by append on the hot path.
 func WithExpectedRequests(n uint64) Option {
 	return func(c *Collector) { c.expected = n }
+}
+
+// WithResponseHistogram buckets virtual-time response samples into buckets
+// bins of the given tick width, enabling tail quantiles (Summary.
+// P99Response). Off by default: per-client histograms are not free at a
+// million clients.
+func WithResponseHistogram(buckets, width int) Option {
+	return func(c *Collector) { c.respHist = stats.NewHistogram(buckets, width) }
 }
 
 // NewCollector returns a ready Collector. Options apply before the default
@@ -143,11 +155,18 @@ func (c *Collector) Record(hit bool, hops, pathLen int) {
 // virtual-time engine's clock delta between injection and reply).
 func (c *Collector) RecordResponse(vticks int64) {
 	c.response.Add(float64(vticks))
+	if c.respHist != nil {
+		c.respHist.Add(int(vticks))
+	}
 }
 
 // Response exposes the response-time accumulator (mean/min/max in virtual
 // ticks; empty unless the run used the virtual-time engine).
 func (c *Collector) Response() *stats.Online { return &c.response }
+
+// ResponseHistogram returns the bucketed response-time distribution, or nil
+// when WithResponseHistogram was not given.
+func (c *Collector) ResponseHistogram() *stats.Histogram { return c.respHist }
 
 // RecordTimeout accounts one request attempt whose reply did not arrive
 // within the recovery timeout (whether it is then retried or abandoned).
@@ -229,6 +248,9 @@ type Summary struct {
 	// ticks; zero unless the run used the virtual-time engine.
 	MeanResponse float64
 	MaxResponse  float64
+	// P99Response is the 99th-percentile response time in ticks; zero
+	// unless the run enabled the response histogram.
+	P99Response float64
 	// Recovery-protocol counters; all zero in lossless runs.
 	Timeouts     uint64
 	Retries      uint64
@@ -238,7 +260,12 @@ type Summary struct {
 
 // Summary snapshots the collector.
 func (c *Collector) Summary() Summary {
+	p99 := 0.0
+	if c.respHist != nil {
+		p99 = c.respHist.Quantile(0.99)
+	}
 	return Summary{
+		P99Response: p99,
 		Requests:     c.requests,
 		Hits:         c.hits,
 		HitRate:      c.CumHitRate(),

@@ -57,6 +57,19 @@ type ProxyStats struct {
 	// in-flight upstream fetch instead of launching their own
 	// (singleflight on the HTTP farm's miss path).
 	CoalescedMisses uint64
+
+	// ReplicaPushes counts hot-object replicas this proxy pushed to a
+	// recent requester (piggybacked on a backwarding reply).
+	ReplicaPushes uint64
+
+	// ReplicaDrops counts cold replica copies this proxy shed back
+	// toward stock ADC's single-location convergence.
+	ReplicaDrops uint64
+
+	// ReplicaHits counts local cache hits served from a pushed replica
+	// copy — requests the stock protocol would have concentrated on the
+	// object's single converged location.
+	ReplicaHits uint64
 }
 
 // Add accumulates other into s, for cluster-wide totals.
@@ -75,6 +88,9 @@ func (s *ProxyStats) Add(other ProxyStats) {
 	s.UnexpectedReplies += other.UnexpectedReplies
 	s.Shed += other.Shed
 	s.CoalescedMisses += other.CoalescedMisses
+	s.ReplicaPushes += other.ReplicaPushes
+	s.ReplicaDrops += other.ReplicaDrops
+	s.ReplicaHits += other.ReplicaHits
 }
 
 // LocalHitRate returns LocalHits/Requests for this proxy.

@@ -34,6 +34,15 @@ type Bucket struct {
 	// entries. Empty when no snapshot hook is installed.
 	Occupancy []int
 	Cached    []int
+
+	// ProxyRequests is the per-proxy cumulative request-reception count
+	// (client entries plus peer forwards) snapshotted when the bucket
+	// seals. Differencing consecutive buckets gives the windowed load at
+	// each proxy, which is what exposes transient hotspots — a hot
+	// object's home saturating for a few windows after a popularity
+	// shift — that run-total load spread averages away. Empty when no
+	// snapshot hook is installed.
+	ProxyRequests []uint64
 }
 
 // HitRate returns the window's hit rate (0 when nothing completed).

@@ -96,6 +96,25 @@ type Reply struct {
 	// forwarding order. Backward pops from the tail.
 	Path []ids.NodeID
 
+	// Replicas advertises the resolver's replica set for the object — the
+	// additional proxies known to hold it beyond the resolver itself.
+	// Always nil in stock ADC; the hot-object replication extension fills
+	// it so backwarding teaches the path a *set* of locations.
+	Replicas []ids.NodeID
+
+	// Replicate asks the path proxies to check Replicas for their own ID
+	// and, on a match, adopt the passing object into their cache (a
+	// replica push piggybacked on the reply — no extra round trip).
+	Replicate bool
+
+	// AvgHint carries the resolver's moving-average inter-request gap for
+	// the object (Entry.Avg) when Replicate is set, 0 otherwise. Adopting
+	// proxies seed their forced cache entry with it, so a pushed replica
+	// competes in the caching table with the popularity the holder
+	// actually measured instead of starting cold and being evicted before
+	// its first local hit.
+	AvgHint int64
+
 	// Hops counts message transfers including the request's own.
 	Hops int
 

@@ -39,6 +39,9 @@ type Config struct {
 	// paper-faithful protocol, where pending entries only retire via
 	// backwarding replies).
 	Recovery sim.Recovery
+	// Replication enables the hot-object replication controller (the
+	// zero value keeps the paper-faithful single-location protocol).
+	Replication Replication
 }
 
 // pendingPass is the loop-detection state for one in-flight request ID:
@@ -99,6 +102,11 @@ type ADC struct {
 
 	stats metrics.ProxyStats
 
+	// replica is the hot-object replication controller (nil = off; every
+	// guard is a single branch on the hot path, keeping stock runs
+	// byte-identical).
+	replica *replicator
+
 	// tracer is the optional request tracer (nil = off; every guard is a
 	// single branch on the hot path).
 	tracer *obs.Tracer
@@ -121,13 +129,17 @@ func New(cfg Config) (*ADC, error) {
 	if err := cfg.Recovery.Validate(); err != nil {
 		return nil, fmt.Errorf("proxy %v: %w", cfg.ID, err)
 	}
+	cfg.Replication = cfg.Replication.Normalize()
+	if err := cfg.Replication.Validate(); err != nil {
+		return nil, fmt.Errorf("proxy %v: %w", cfg.ID, err)
+	}
 	tables, err := core.NewTables(cfg.Tables)
 	if err != nil {
 		return nil, fmt.Errorf("proxy %v: %w", cfg.ID, err)
 	}
 	peers := make([]ids.NodeID, len(cfg.Peers))
 	copy(peers, cfg.Peers)
-	return &ADC{
+	p := &ADC{
 		id:        cfg.ID,
 		peers:     peers,
 		tables:    tables,
@@ -136,7 +148,11 @@ func New(cfg Config) (*ADC, error) {
 		recovery:  cfg.Recovery,
 		tablesCfg: cfg.Tables,
 		sweep:     &sweepTimer{to: cfg.ID},
-	}, nil
+	}
+	if cfg.Replication.Enabled {
+		p.replica = newReplicator(cfg.Replication, peers)
+	}
+	return p, nil
 }
 
 // ID implements sim.Node.
@@ -154,6 +170,11 @@ func (p *ADC) AddPeer(id ids.NodeID) {
 		}
 	}
 	p.peers = append(p.peers, id)
+	if p.replica != nil {
+		for int(id) >= len(p.replica.load) {
+			p.replica.load = append(p.replica.load, 0)
+		}
+	}
 }
 
 // Tables exposes the mapping tables for dumps, tests and metrics.
@@ -183,6 +204,12 @@ func (p *ADC) Restart(loseTables bool) {
 	p.expiryQ = nil
 	p.expiryHead = 0
 	p.sweepArmed = false
+	if p.replica != nil {
+		// Controller state is volatile: hit counts, load estimates and
+		// replica tracking died with the process. Table state (replica
+		// sets included) follows the loseTables flag below.
+		p.replica = newReplicator(p.replica.cfg, p.peers)
+	}
 	if loseTables {
 		// The config was validated at construction, so this cannot fail.
 		if t, err := core.NewTables(p.tablesCfg); err == nil {
@@ -207,11 +234,19 @@ func (p *ADC) Handle(ctx sim.Context, m msg.Message) {
 func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 	p.localTime++
 	p.stats.Requests++
+	if p.replica != nil && p.localTime%p.replica.cfg.Window == 0 {
+		p.rollWindow()
+	}
 
 	if p.tables.IsCached(req.Object) {
 		// Local hit: update the entry to point at ourselves and
 		// start backwarding immediately.
 		p.stats.LocalHits++
+		prevLoc := ids.None
+		if p.replica != nil {
+			p.noteHit(req.Object)
+			prevLoc, _ = p.tables.ForwardLocation(req.Object)
+		}
 		out := p.tables.Update(req.Object, p.id, p.localTime)
 		if p.tracer.Enabled(obs.KindHit) {
 			e := obs.Ev(obs.KindHit, p.id)
@@ -227,6 +262,10 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 		rep := sim.Resolve(ctx, req)
 		rep.Resolver = p.id
 		rep.Cached = true
+		if p.replica != nil {
+			// rep.Object, not req.Object: Resolve consumed the request.
+			p.maybePush(rep.Object, prevLoc, rep)
+		}
 		next, _ := rep.NextBackward()
 		rep.To = next
 		ctx.Send(rep)
@@ -299,6 +338,9 @@ func (p *ADC) receiveRequest(ctx sim.Context, req *msg.Request) {
 // whether a mapping entry directed the forward, so the recovery layer
 // knows which pending passes trusted a learned location.
 func (p *ADC) forwardAddr(obj ids.ObjectID) (to ids.NodeID, viaTable bool) {
+	if p.replica != nil {
+		return p.forwardAddrReplicated(obj)
+	}
 	if loc, ok := p.tables.ForwardLocation(obj); ok {
 		if loc == p.id {
 			p.stats.ForwardOrigin++
@@ -338,6 +380,9 @@ func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	learned := rep.Resolver
 	out := p.tables.Update(rep.Object, rep.Resolver, p.localTime)
 	p.recordOutcome(out)
+	if p.replica != nil {
+		p.learnReplicas(rep)
+	}
 
 	// "This focus on only one caching location is necessary to allow
 	// the system to agree faster on one location" (§IV.2): the first
@@ -345,6 +390,9 @@ func (p *ADC) receiveReply(ctx sim.Context, rep *msg.Reply) {
 	if !rep.Cached && p.tables.IsCached(rep.Object) {
 		rep.Resolver = p.id
 		rep.Cached = true
+		if p.replica != nil {
+			p.maybePush(rep.Object, ids.None, rep)
+		}
 	}
 
 	// Retire one stored backwarding pass.

@@ -25,6 +25,17 @@ type LatencyModel struct {
 	ProxyOrigin int64
 	// Service is the per-message processing delay at the receiver.
 	Service int64
+
+	// QueueService, when true, serializes the Service component per
+	// receiving node: a node processes one message at a time, so a node
+	// whose arrival rate exceeds 1/Service messages per tick builds a
+	// backlog and its response times grow — saturation, which the
+	// default additive Service cost cannot express. An uncontended
+	// message still pays exactly Service, so closed-loop single-client
+	// runs are identical either way; the flag exists for open-loop
+	// load-vs-latency studies (hot-proxy and origin bottlenecks).
+	// Timer events (After) are not queued, only network transfers.
+	QueueService bool
 }
 
 // DefaultLatencyModel is a WAN-flavoured model: proxies near the clients,
@@ -100,6 +111,11 @@ type VEngine struct {
 	// delivery. nil keeps every code path byte-identical to a plan-free
 	// engine.
 	faults *faultState
+
+	// busy is the per-node service-completion horizon of the
+	// QueueService model (nil when the model is off, which keeps the
+	// delivery loop branch-free on the latency-only configuration).
+	busy map[ids.NodeID]int64
 
 	delivered uint64
 	dropped   uint64
@@ -182,10 +198,14 @@ func (e *VEngine) FaultStats() FaultStats {
 
 // NewVEngine returns an empty virtual-time engine.
 func NewVEngine(latency LatencyModel) *VEngine {
-	return &VEngine{
+	e := &VEngine{
 		latency: latency,
 		current: ids.None,
 	}
+	if latency.QueueService {
+		e.busy = make(map[ids.NodeID]int64)
+	}
+	return e
 }
 
 // Register adds a node before Run.
@@ -216,6 +236,12 @@ func (e *VEngine) Send(m msg.Message) {
 		return
 	}
 	delay := e.latency.cost(e.current, m.Dest())
+	if e.busy != nil {
+		// Queued service: the transfer pays only the link here; the
+		// Service component is charged at delivery, serialized per
+		// receiver.
+		delay -= e.latency.Service
+	}
 	if e.faults != nil {
 		var ok bool
 		if delay, ok = e.faults.transfer(e.current, m.Dest(), delay); !ok {
@@ -226,7 +252,8 @@ func (e *VEngine) Send(m msg.Message) {
 			return
 		}
 	}
-	e.schedule(delay, m)
+	e.seq++
+	e.pq.push(event{at: e.now + delay, seq: e.seq, m: m, net: true})
 }
 
 // After implements Scheduler.
@@ -296,6 +323,24 @@ func (e *VEngine) Run() error {
 				continue
 			}
 		}
+		if e.busy != nil && ev.net && !ev.served {
+			// Queued service: the message starts service when the
+			// receiver frees up, completes Service later, and is
+			// handled at completion. Re-queuing keeps the original
+			// sequence number, so per-node FIFO order is preserved.
+			start := ev.at
+			if b := e.busy[ev.m.Dest()]; b > start {
+				start = b
+			}
+			done := start + e.latency.Service
+			e.busy[ev.m.Dest()] = done
+			if done > ev.at {
+				ev.at = done
+				ev.served = true
+				e.pq.push(ev)
+				continue
+			}
+		}
 		n, ok := e.nodes.Get(ev.m.Dest())
 		if !ok {
 			return fmt.Errorf("sim: message for unregistered node %v", ev.m.Dest())
@@ -333,6 +378,11 @@ type event struct {
 	at  int64
 	seq uint64
 	m   msg.Message
+	// net marks a network transfer (Send), the only events the
+	// QueueService model serializes; served marks a transfer that has
+	// already been assigned its service-completion slot.
+	net    bool
+	served bool
 }
 
 // before is the total order events are delivered in: timestamp, then

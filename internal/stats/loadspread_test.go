@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMaxMeanRatio(t *testing.T) {
+	if _, err := MaxMeanRatio(nil); err != ErrEmpty {
+		t.Fatalf("empty set: got err %v, want ErrEmpty", err)
+	}
+	if r, err := MaxMeanRatio([]float64{0, 0, 0}); err != nil || r != 0 {
+		t.Fatalf("all-zero set: got %v, %v; want 0, nil", r, err)
+	}
+	if r, _ := MaxMeanRatio([]float64{5, 5, 5, 5}); r != 1 {
+		t.Fatalf("even spread: got %v, want 1", r)
+	}
+	// All load on one of four shards: max/mean = 4.
+	if r, _ := MaxMeanRatio([]float64{12, 0, 0, 0}); r != 4 {
+		t.Fatalf("fully concentrated: got %v, want 4", r)
+	}
+	// 2x hotter than the mean.
+	if r, _ := MaxMeanRatio([]float64{6, 2, 2, 2}); r != 2 {
+		t.Fatalf("hot shard: got %v, want 2", r)
+	}
+	if r, _ := MaxMeanRatio([]float64{7}); r != 1 {
+		t.Fatalf("single shard: got %v, want 1", r)
+	}
+}
+
+func TestGini(t *testing.T) {
+	if _, err := Gini(nil); err != ErrEmpty {
+		t.Fatalf("empty set: got err %v, want ErrEmpty", err)
+	}
+	if g, err := Gini([]float64{0, 0}); err != nil || g != 0 {
+		t.Fatalf("all-zero set: got %v, %v; want 0, nil", g, err)
+	}
+	if g, _ := Gini([]float64{3, 3, 3}); g != 0 {
+		t.Fatalf("even spread: got %v, want 0", g)
+	}
+	// Fully concentrated on one of n shards: Gini = (n-1)/n.
+	if g, _ := Gini([]float64{0, 0, 0, 8}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("fully concentrated: got %v, want 0.75", g)
+	}
+	// Known value: {1, 3} has Gini 1/4.
+	if g, _ := Gini([]float64{1, 3}); math.Abs(g-0.25) > 1e-12 {
+		t.Fatalf("{1,3}: got %v, want 0.25", g)
+	}
+	// Input order must not matter, and xs must not be mutated.
+	xs := []float64{9, 1, 5}
+	g1, _ := Gini(xs)
+	g2, _ := Gini([]float64{1, 5, 9})
+	if g1 != g2 {
+		t.Fatalf("order dependence: %v vs %v", g1, g2)
+	}
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("Gini mutated its input: %v", xs)
+	}
+}

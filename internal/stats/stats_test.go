@@ -3,6 +3,7 @@ package stats
 import (
 	"errors"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -237,5 +238,73 @@ func TestHistogram(t *testing.T) {
 	}
 	if NewHistogram(2, 1).String() != "(empty histogram)" {
 		t.Error("empty histogram string wrong")
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	// Merging an empty histogram is a no-op.
+	h := NewHistogram(4, 10)
+	for _, v := range []int{5, 15, 100} {
+		h.Add(v)
+	}
+	before := h.Buckets()
+	h.Merge(NewHistogram(4, 10))
+	if h.Total() != 3 || !reflect.DeepEqual(h.Buckets(), before) {
+		t.Errorf("merging an empty histogram changed counts: %v -> %v", before, h.Buckets())
+	}
+
+	// Merging into an empty histogram copies the source exactly.
+	dst := NewHistogram(4, 10)
+	dst.Merge(h)
+	if !reflect.DeepEqual(dst.Buckets(), h.Buckets()) || dst.Total() != h.Total() {
+		t.Errorf("merge into empty: got %v total %d, want %v total %d",
+			dst.Buckets(), dst.Total(), h.Buckets(), h.Total())
+	}
+	// And quantiles agree with the source afterwards.
+	if dst.Quantile(0.5) != h.Quantile(0.5) {
+		t.Errorf("median diverged after merge: %v vs %v", dst.Quantile(0.5), h.Quantile(0.5))
+	}
+
+	// Single-sample merge lands in the right bucket, including overflow.
+	one := NewHistogram(4, 10)
+	one.Add(39)
+	sum := NewHistogram(4, 10)
+	sum.Merge(one)
+	if sum.Total() != 1 || sum.Count(3) != 1 {
+		t.Errorf("single-sample merge: %v total %d", sum.Buckets(), sum.Total())
+	}
+	over := NewHistogram(4, 10)
+	over.Add(1 << 20)
+	sum.Merge(over)
+	if sum.Count(4) != 1 {
+		t.Errorf("overflow sample lost in merge: %v", sum.Buckets())
+	}
+
+	// Merge-into-self doubles every bucket and the total.
+	self := NewHistogram(4, 10)
+	for _, v := range []int{-1, 0, 12, 25, 999} {
+		self.Add(v)
+	}
+	want := self.Buckets()
+	for i := range want {
+		want[i] *= 2
+	}
+	self.Merge(self)
+	if self.Total() != 10 || !reflect.DeepEqual(self.Buckets(), want) {
+		t.Errorf("merge-into-self: got %v total %d, want %v total 10",
+			self.Buckets(), self.Total(), want)
+	}
+}
+
+func TestHistogramMergeLayoutMismatch(t *testing.T) {
+	for _, other := range []*Histogram{NewHistogram(4, 5), NewHistogram(8, 10)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("merging mismatched layouts must panic")
+				}
+			}()
+			NewHistogram(4, 10).Merge(other)
+		}()
 	}
 }

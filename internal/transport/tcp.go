@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -136,6 +137,38 @@ func (nw *Network) Addr(id ids.NodeID) (string, bool) {
 // Dropped returns how many outgoing batches were abandoned because their
 // destination stayed unreachable through the redial window.
 func (nw *Network) Dropped() uint64 { return nw.dropped.Load() }
+
+// QueueDepth is one (sender, destination) link's instantaneous backlog:
+// how many encoded frames sit in its bounded send queue waiting for the
+// writer goroutine. A persistently deep queue marks a link applying
+// backpressure — the destination (or the path to it) cannot keep up.
+type QueueDepth struct {
+	From  ids.NodeID `json:"from"`
+	To    ids.NodeID `json:"to"`
+	Depth int        `json:"depth"`
+}
+
+// QueueDepths snapshots every established link's send-queue depth, sorted
+// by (From, To) so consecutive snapshots line up. Links are created lazily
+// on first send, so a pair that never communicated does not appear. The
+// snapshot is not atomic across links; each depth is exact at its own read.
+func (nw *Network) QueueDepths() []QueueDepth {
+	var out []QueueDepth
+	for id, ep := range nw.endpoints {
+		ep.peersMu.Lock()
+		for dst, pl := range ep.peers {
+			out = append(out, QueueDepth{From: id, To: dst, Depth: len(pl.ch)})
+		}
+		ep.peersMu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
 
 // Run starts the accept loops, injects Starter traffic, waits for done to
 // close, then tears everything down. Like the other runtimes, node state

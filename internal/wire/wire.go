@@ -10,7 +10,8 @@
 //	byte 0:   message kind (kindRequest | kindReply)
 //	payload:  fixed fields in order, then the path as a varint count
 //	          followed by varint-encoded node IDs (zig-zag for the
-//	          signed values).
+//	          signed values). Replies end with the replica set in the
+//	          same count-prefixed form (count 0 in stock ADC).
 package wire
 
 import (
@@ -73,26 +74,34 @@ func Encode(buf []byte, m msg.Message) ([]byte, error) {
 		buf = appendUvarint(buf, uint64(t.Object))
 		buf = appendVarint(buf, int64(t.Client))
 		buf = appendVarint(buf, int64(t.Resolver))
-		buf = append(buf, encodeBools(t.Cached, t.FromOrigin))
+		buf = append(buf, encodeBools(t.Cached, t.FromOrigin, t.Replicate))
 		buf = appendUvarint(buf, uint64(t.Hops))
 		buf = appendUvarint(buf, uint64(t.PathLen))
 		buf = appendUvarint(buf, uint64(len(t.Path)))
 		for _, p := range t.Path {
 			buf = appendVarint(buf, int64(p))
 		}
+		buf = appendUvarint(buf, uint64(len(t.Replicas)))
+		for _, p := range t.Replicas {
+			buf = appendVarint(buf, int64(p))
+		}
+		buf = appendVarint(buf, t.AvgHint)
 		return buf, nil
 	default:
 		return nil, fmt.Errorf("wire: cannot encode %T", m)
 	}
 }
 
-func encodeBools(cached, fromOrigin bool) byte {
+func encodeBools(cached, fromOrigin, replicate bool) byte {
 	var b byte
 	if cached {
 		b |= 1
 	}
 	if fromOrigin {
 		b |= 2
+	}
+	if replicate {
+		b |= 4
 	}
 	return b
 }
@@ -197,9 +206,12 @@ func Decode(frame []byte) (msg.Message, error) {
 		flags := r.byte()
 		m.Cached = flags&1 != 0
 		m.FromOrigin = flags&2 != 0
+		m.Replicate = flags&4 != 0
 		m.Hops = int(r.uvarint())
 		m.PathLen = int(r.uvarint())
 		m.Path = r.path()
+		m.Replicas = r.path()
+		m.AvgHint = r.varint()
 		if r.err != nil {
 			return nil, r.err
 		}

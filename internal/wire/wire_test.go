@@ -164,3 +164,43 @@ func TestRequestRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestReplyReplicasRoundTrip(t *testing.T) {
+	in := &msg.Reply{
+		To:        1,
+		ID:        ids.NewRequestID(0, 7),
+		Object:    99,
+		Client:    ids.Client(2),
+		Resolver:  3,
+		Cached:    true,
+		Replicate: true,
+		Path:      []ids.NodeID{0, 4},
+		Replicas:  []ids.NodeID{1, 2, 5},
+		Hops:      4,
+		PathLen:   2,
+	}
+	frame, err := Encode(nil, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round trip:\n in: %+v\nout: %+v", in, out)
+	}
+
+	// Stock replies (no replicas, no Replicate bit) must decode with a
+	// nil set, keeping DeepEqual-based determinism checks happy.
+	stock := &msg.Reply{To: 1, Resolver: ids.None, Path: []ids.NodeID{2}}
+	frame, _ = Encode(nil, stock)
+	out, err = Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := out.(*msg.Reply)
+	if rep.Replicas != nil || rep.Replicate {
+		t.Errorf("stock reply decoded with replicas %v replicate %v", rep.Replicas, rep.Replicate)
+	}
+}
