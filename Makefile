@@ -35,7 +35,7 @@ REPLICATION_BENCH = BenchmarkReplicationZipf
 # benchjson compare warns when they differ between baseline and candidate.
 PARALLEL_BENCH = BenchmarkPEngineScaling
 
-.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-replication bench-replication-baseline bench-compare bench-sweep bench-profile loadtest trace-smoke figures clean
+.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-replication bench-replication-baseline bench-compare bench-sweep bench-profile loadtest chaos trace-smoke figures clean
 
 all: build test
 
@@ -94,6 +94,14 @@ DURATION ?= 10s
 PROXIES  ?= 8
 loadtest:
 	$(GO) run ./cmd/adcload -rate $(RATE) -duration $(DURATION) -proxies $(PROXIES)
+
+# Chaos run: kill one proxy mid-load and restart it, reporting windowed
+# availability, time-to-detect and time-to-recover (DESIGN.md §16,
+# EXPERIMENTS.md "Chaos runs"). Override the schedule with CHAOS=...
+CHAOS ?= kill=p3@5s,restart=p3@15s
+chaos:
+	$(GO) run ./cmd/adcload -rate $(RATE) -duration 20s -proxies $(PROXIES) \
+	  -chaos '$(CHAOS)' -quiet
 
 # Parallel-engine scaling benchmark: ~10 GB peak RSS and several minutes
 # per variant, so it runs each subbenchmark once. The committed

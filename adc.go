@@ -503,7 +503,9 @@ type Point struct {
 // extension and stay zero in paper-faithful runs; Shed and CoalescedMisses
 // belong to the HTTP farm's admission control and miss coalescing and stay
 // zero in simulator runs; ReplicaPushes/ReplicaDrops/ReplicaHits belong to
-// the hot-object replication extension and stay zero with replication off.
+// the hot-object replication extension and stay zero with replication off;
+// RetriedFetches through HedgeWins belong to the HTTP farm's
+// fault-tolerance layer and stay zero with health probing off.
 type ProxyStats struct {
 	Requests          uint64
 	LocalHits         uint64
@@ -522,6 +524,11 @@ type ProxyStats struct {
 	ReplicaPushes     uint64
 	ReplicaDrops      uint64
 	ReplicaHits       uint64
+	RetriedFetches    uint64
+	FailoverOrigin    uint64
+	BreakerDenied     uint64
+	HedgedFetches     uint64
+	HedgeWins         uint64
 }
 
 // Result is the outcome of one simulation.

@@ -45,17 +45,28 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent warm-up clients (1 = deterministic single client)")
 		traceOn  = fs.Bool("trace", false, "record a request-path trace, written on shutdown")
 		traceOut = fs.String("trace-out", "farm-trace.jsonl", "trace output file (JSON Lines; with -trace)")
+
+		health        = fs.Bool("health", false, "enable peer health probing, failover routing and circuit breakers")
+		probeInterval = fs.Duration("probe-interval", 0, "health probe interval (0 = default 250ms; with -health)")
+		failThreshold = fs.Int("fail-threshold", 0, "consecutive failures marking a peer down (0 = default 3; with -health)")
+		retries       = fs.Int("retries", 0, "entry-chain failover retries (0 = default 2, negative = none; with -health)")
+		hedge         = fs.Duration("hedge", 0, "hedged origin fetch after this delay (0 = off; with -health)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	farm, err := adc.NewHTTPFarm(adc.HTTPFarmConfig{
-		Proxies:       *proxies,
-		SingleTable:   *single,
-		MultipleTable: *multiple,
-		CachingTable:  *caching,
-		Seed:          *seed,
+		Proxies:          *proxies,
+		SingleTable:      *single,
+		MultipleTable:    *multiple,
+		CachingTable:     *caching,
+		Seed:             *seed,
+		Health:           *health,
+		ProbeInterval:    *probeInterval,
+		FailureThreshold: *failThreshold,
+		MaxRetries:       *retries,
+		HedgeDelay:       *hedge,
 	})
 	if err != nil {
 		return err

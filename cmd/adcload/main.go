@@ -80,6 +80,16 @@ type config struct {
 	RepMax       int  // max replicas beyond the primary holder
 	RepWindow    int  // controller decay window (requests per proxy)
 
+	Chaos         string        // fault schedule spec ("" = none); implies Health
+	Health        bool          // peer health probing + failover routing on
+	ProbeInterval time.Duration // health probe spacing (0 = default)
+	FailThreshold int           // consecutive failures marking a peer down (0 = default)
+	Retries       int           // entry-chain failover retries (0 = default, <0 = none)
+	Hedge         time.Duration // hedged origin fetch delay (0 = off)
+	AvailWindow   time.Duration // availability window (chaos/health runs)
+
+	RetryAfterMax time.Duration // cap on honored Retry-After backoff (0 = don't back off)
+
 	JSONOut  bool
 	BenchOut bool
 	Quiet    bool
@@ -109,6 +119,9 @@ type report struct {
 	Hits      uint64 `json:"hits"` // served by some proxy cache
 	Shed      uint64 `json:"shed"` // 429 from admission control
 	Errors    uint64 `json:"errors"`
+	// ShedRetries counts honored Retry-After backoffs: 429 responses the
+	// worker slept through and retried instead of recording a shed.
+	ShedRetries uint64 `json:"shed_retries,omitempty"`
 
 	// Latencies are in microseconds, measured from the scheduled arrival
 	// time (coordinated-omission corrected), shed replies included —
@@ -120,6 +133,15 @@ type report struct {
 
 	Farm    metrics.ProxyStats `json:"farm_totals"`
 	Proxies []proxyReport      `json:"proxies"`
+
+	// Chaos is present when -chaos drove a fault schedule: the applied
+	// events, per-kill detect/recover times, and windowed availability.
+	Chaos *chaosReport `json:"chaos,omitempty"`
+
+	// Network is present when the farm has an attached TCP transport
+	// network (agent-runtime integrations); the standard in-process farm
+	// speaks plain HTTP and reports nothing here.
+	Network *httpproxy.NetworkVars `json:"network,omitempty"`
 
 	hist *stats.Histogram
 }
@@ -189,6 +211,32 @@ func run(cfg config) (*report, error) {
 		return nil, err
 	}
 
+	// A chaos schedule implies the fault-tolerance layer: testing kill and
+	// restart without health probing would only measure hard errors.
+	var plan *httpproxy.ChaosPlan
+	if cfg.Chaos != "" {
+		plan, err = httpproxy.ParseChaosSpec(cfg.Chaos)
+		if err != nil {
+			return nil, err
+		}
+		if err := plan.Validate(cfg.Proxies); err != nil {
+			return nil, err
+		}
+		cfg.Health = true
+	}
+	var ft httpproxy.FaultTolerance
+	if cfg.Health {
+		ft = httpproxy.FaultTolerance{
+			Health: httpproxy.HealthConfig{
+				Enabled:          true,
+				ProbeInterval:    cfg.ProbeInterval,
+				FailureThreshold: cfg.FailThreshold,
+			},
+			MaxRetries: cfg.Retries,
+			HedgeDelay: cfg.Hedge,
+		}
+	}
+
 	f, err := httpproxy.NewFarm(httpproxy.FarmConfig{
 		Proxies: cfg.Proxies,
 		Tables: core.Config{
@@ -207,6 +255,7 @@ func run(cfg config) (*report, error) {
 			MaxReplicas:  cfg.RepMax,
 			Window:       int64(cfg.RepWindow),
 		},
+		FaultTolerance: ft,
 	})
 	if err != nil {
 		return nil, err
@@ -234,7 +283,7 @@ func run(cfg config) (*report, error) {
 					if i >= int64(cfg.Warm) || werr.Load() != nil {
 						return
 					}
-					if _, _, err := issue(client, urlFor(i), objs[i], prefix+strconv.FormatInt(i, 10)); err != nil {
+					if _, _, _, err := issue(client, urlFor(i), objs[i], prefix+strconv.FormatInt(i, 10), cfg.RetryAfterMax); err != nil {
 						werr.Store(err)
 						return
 					}
@@ -250,15 +299,44 @@ func run(cfg config) (*report, error) {
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 
 	var (
-		next      atomic.Int64 // next request index to claim
-		completed atomic.Uint64
-		hits      atomic.Uint64
-		shed      atomic.Uint64
-		errs      atomic.Uint64
-		wg        sync.WaitGroup
+		next        atomic.Int64 // next request index to claim
+		completed   atomic.Uint64
+		hits        atomic.Uint64
+		shed        atomic.Uint64
+		errs        atomic.Uint64
+		shedRetries atomic.Uint64
+		wg          sync.WaitGroup
 	)
+	// Availability accounting only exists for chaos/health runs — a plain
+	// throughput run should not pay even the window arithmetic.
+	var avail *availCounters
+	if cfg.Health {
+		window := cfg.AvailWindow
+		if window <= 0 {
+			window = 500 * time.Millisecond
+		}
+		avail = newAvail(window, cfg.Duration)
+	}
 	hists := make([]*stats.Histogram, cfg.Conns)
 	start := time.Now()
+
+	// The fault schedule plays against the same clock the workers use, in
+	// its own goroutine; stopping early (all requests drained) cancels the
+	// remaining events.
+	var (
+		applied   []httpproxy.AppliedChaos
+		chaosStop chan struct{}
+		chaosDone chan struct{}
+	)
+	if plan != nil {
+		chaosStop = make(chan struct{})
+		chaosDone = make(chan struct{})
+		go func() {
+			defer close(chaosDone)
+			applied = f.PlayChaos(plan, start, chaosStop)
+		}()
+	}
+
 	wg.Add(cfg.Conns)
 	for w := 0; w < cfg.Conns; w++ {
 		go func(w int) {
@@ -279,8 +357,10 @@ func run(cfg config) (*report, error) {
 				if d := time.Until(sched); d > 0 {
 					time.Sleep(d)
 				}
-				hit, wasShed, err := issue(client, urlFor(i), objs[i], prefix+strconv.FormatInt(i, 10))
+				hit, wasShed, retried, err := issue(client, urlFor(i), objs[i], prefix+strconv.FormatInt(i, 10), cfg.RetryAfterMax)
 				lat := time.Since(sched)
+				shedRetries.Add(uint64(retried))
+				avail.record(time.Since(start), err == nil)
 				if err != nil {
 					errs.Add(1)
 					continue
@@ -298,6 +378,10 @@ func run(cfg config) (*report, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if plan != nil {
+		close(chaosStop)
+		<-chaosDone
+	}
 
 	merged := stats.NewHistogram(histBuckets, histWidthUs)
 	for _, h := range hists {
@@ -313,6 +397,7 @@ func run(cfg config) (*report, error) {
 		Hits:         hits.Load(),
 		Shed:         shed.Load(),
 		Errors:       errs.Load(),
+		ShedRetries:  shedRetries.Load(),
 		P50us:        merged.Quantile(0.50),
 		P90us:        merged.Quantile(0.90),
 		P99us:        merged.Quantile(0.99),
@@ -333,31 +418,63 @@ func run(cfg config) (*report, error) {
 			ReplicaDrops: s.ReplicaDrops,
 		})
 	}
+	if plan != nil {
+		rep.Chaos = buildChaosReport(cfg.Chaos, f, applied, start, avail)
+	}
+	rep.Network = f.NetworkVars()
 	return rep, nil
 }
 
+// shedRetryMax bounds how many 429s one request will sleep through before
+// recording the shed.
+const shedRetryMax = 2
+
 // issue performs one GET and classifies the outcome. A 429 is a shed, not
 // an error: admission control answering fast is the behaviour under test.
-func issue(client *http.Client, base string, obj ids.ObjectID, reqID string) (hit, wasShed bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, httpproxy.ObjectURL(base, obj), nil)
-	if err != nil {
-		return false, false, err
+// When retryAfterMax is positive the worker honors the 429's Retry-After —
+// it backs off (capped at retryAfterMax) and retries the same request up
+// to shedRetryMax times, which is what the header asks of a well-behaved
+// client; retried counts those backoffs.
+func issue(client *http.Client, base string, obj ids.ObjectID, reqID string, retryAfterMax time.Duration) (hit, wasShed bool, retried int, err error) {
+	for {
+		req, err := http.NewRequest(http.MethodGet, httpproxy.ObjectURL(base, obj), nil)
+		if err != nil {
+			return false, false, retried, err
+		}
+		req.Header.Set(httpproxy.HeaderRequestID, reqID)
+		resp, err := client.Do(req)
+		if err != nil {
+			return false, false, retried, err
+		}
+		// Drain so the pooled connection is reusable.
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close() //nolint:errcheck // read side
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			if retryAfterMax <= 0 || retried >= shedRetryMax {
+				return false, true, retried, nil
+			}
+			retried++
+			time.Sleep(retryAfterDelay(resp.Header, retryAfterMax))
+			continue
+		case resp.StatusCode != http.StatusOK:
+			return false, false, retried, fmt.Errorf("adcload: %s: status %d", reqID, resp.StatusCode)
+		}
+		return resp.Header.Get(httpproxy.HeaderOrigin) != "1", false, retried, nil
 	}
-	req.Header.Set(httpproxy.HeaderRequestID, reqID)
-	resp, err := client.Do(req)
-	if err != nil {
-		return false, false, err
+}
+
+// retryAfterDelay reads a 429's Retry-After seconds, capped at max (which
+// also covers a missing or malformed header).
+func retryAfterDelay(h http.Header, max time.Duration) time.Duration {
+	if s := h.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			if d := time.Duration(secs) * time.Second; d < max {
+				return d
+			}
+		}
 	}
-	// Drain so the pooled connection is reusable.
-	_, _ = io.Copy(io.Discard, resp.Body)
-	resp.Body.Close() //nolint:errcheck // read side
-	switch {
-	case resp.StatusCode == http.StatusTooManyRequests:
-		return false, true, nil
-	case resp.StatusCode != http.StatusOK:
-		return false, false, fmt.Errorf("adcload: %s: status %d", reqID, resp.StatusCode)
-	}
-	return resp.Header.Get(httpproxy.HeaderOrigin) != "1", false, nil
+	return max
 }
 
 // printText renders the human-readable report.
@@ -367,6 +484,13 @@ func printText(w io.Writer, rep *report) {
 		rep.AchievedRate, rep.Completed, rep.Scheduled, rep.Duration.Round(time.Millisecond))
 	fmt.Fprintf(w, "hits      %10d  (%.1f%% of served)\n", rep.Hits, 100*rep.HitRate())
 	fmt.Fprintf(w, "shed      %10d\nerrors    %10d\n", rep.Shed, rep.Errors)
+	if rep.ShedRetries > 0 {
+		fmt.Fprintf(w, "backoffs  %10d  (honored Retry-After)\n", rep.ShedRetries)
+	}
+	if ft := rep.Farm; ft.RetriedFetches+ft.FailoverOrigin+ft.BreakerDenied+ft.HedgedFetches > 0 {
+		fmt.Fprintf(w, "faults    retried %d  failover-origin %d  breaker-denied %d  hedged %d (won %d)  stale-invalidated %d\n",
+			ft.RetriedFetches, ft.FailoverOrigin, ft.BreakerDenied, ft.HedgedFetches, ft.HedgeWins, ft.StaleInvalidated)
+	}
 	fmt.Fprintf(w, "latency   p50 %v  p90 %v  p99 %v  p99.9 %v\n",
 		us(rep.P50us), us(rep.P90us), us(rep.P99us), us(rep.P999us))
 	replicated := rep.Farm.ReplicaPushes > 0 || rep.Farm.ReplicaHits > 0
@@ -383,6 +507,9 @@ func printText(w io.Writer, rep *report) {
 		}
 		fmt.Fprintf(w, "  proxy %2d  %8d / %8d / %6d / %6d\n",
 			p.ID, p.Requests, p.LocalHits, p.Shed, p.Coalesced)
+	}
+	if rep.Chaos != nil {
+		printChaos(w, rep.Chaos)
 	}
 }
 
@@ -423,6 +550,14 @@ func main() {
 	flag.IntVar(&cfg.RepThreshold, "rep-threshold", 0, "replication: window hits before pushing (0 = default)")
 	flag.IntVar(&cfg.RepMax, "rep-max", 0, "replication: max replicas beyond the primary (0 = default)")
 	flag.IntVar(&cfg.RepWindow, "rep-window", 0, "replication: decay window in requests (0 = default)")
+	flag.StringVar(&cfg.Chaos, "chaos", "", `fault schedule, e.g. "kill=p3@5s,restart=p3@15s,partition=p1:p2@8s+4s" (implies -health)`)
+	flag.BoolVar(&cfg.Health, "health", false, "enable peer health probing, failover routing and circuit breakers")
+	flag.DurationVar(&cfg.ProbeInterval, "probe-interval", 0, "health probe interval (0 = default 250ms; with -health)")
+	flag.IntVar(&cfg.FailThreshold, "fail-threshold", 0, "consecutive failures marking a peer down (0 = default 3; with -health)")
+	flag.IntVar(&cfg.Retries, "retries", 0, "entry-chain failover retries (0 = default 2, <0 = none; with -health)")
+	flag.DurationVar(&cfg.Hedge, "hedge", 0, "hedged origin fetch after this delay (0 = off; with -health)")
+	flag.DurationVar(&cfg.AvailWindow, "avail-window", 0, "availability window for chaos/health runs (0 = default 500ms)")
+	flag.DurationVar(&cfg.RetryAfterMax, "retry-after-max", 0, "honor 429 Retry-After up to this backoff (0 = record the shed immediately)")
 	flag.BoolVar(&cfg.JSONOut, "json", false, "emit the report as JSON on stdout")
 	flag.BoolVar(&cfg.BenchOut, "bench", false, "emit a go-bench-style line for benchjson")
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress the latency histogram")
@@ -450,7 +585,9 @@ func main() {
 			fmt.Print(rep.hist.String())
 		}
 	}
-	if rep.Errors > 0 {
+	// Under a chaos schedule errors are the experiment, not a failure —
+	// the availability report carries the verdict instead.
+	if rep.Errors > 0 && cfg.Chaos == "" {
 		os.Exit(1)
 	}
 }

@@ -196,6 +196,17 @@ func run(args []string) error {
 		fmt.Printf("faults         dropped=%d crashes=%d restarts=%d\n", res.Dropped, res.Crashes, res.Restarts)
 		fmt.Printf("recovery       timeouts=%d retries=%d abandoned=%d stale-replies=%d leaked-pending=%d\n",
 			res.Timeouts, res.Retries, res.Abandoned, res.StaleReplies, res.LeakedPending)
+	} else {
+		// Without fault injection these must both be zero; a nonzero value
+		// means protocol state leaked and should never hide behind -v.
+		var unexpected uint64
+		for _, s := range res.ProxyStats {
+			unexpected += s.UnexpectedReplies
+		}
+		if res.LeakedPending > 0 || unexpected > 0 {
+			fmt.Printf("WARNING        leaked-pending=%d unexpected-replies=%d (protocol state leaked; -v for per-proxy detail)\n",
+				res.LeakedPending, unexpected)
+		}
 	}
 
 	if *verbose {

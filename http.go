@@ -2,6 +2,7 @@ package adc
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/adc-sim/adc/internal/core"
 	"github.com/adc-sim/adc/internal/httpproxy"
@@ -38,6 +39,22 @@ type HTTPFarmConfig struct {
 	// NoCoalesce disables miss coalescing (one upstream fetch shared by
 	// concurrent misses on the same cold object).
 	NoCoalesce bool
+	// Health enables the fault-tolerance layer on every proxy: periodic
+	// peer /healthz probes driving an up/suspect/down/recovering state
+	// machine, failover routing around down peers, per-peer circuit
+	// breakers, and entry-only retries with an origin fallback.
+	Health bool
+	// ProbeInterval spaces health probes (0 = default 250ms).
+	ProbeInterval time.Duration
+	// FailureThreshold is the consecutive-failure count that marks a peer
+	// down (0 = default 3).
+	FailureThreshold int
+	// MaxRetries bounds entry-chain failover retries (0 = default 2,
+	// negative = none).
+	MaxRetries int
+	// HedgeDelay, when positive, starts a parallel direct-origin fetch
+	// for entry chains still unresolved after this long (0 = off).
+	HedgeDelay time.Duration
 }
 
 // NewHTTPFarm starts the origin server and all proxies. Close the farm
@@ -70,6 +87,15 @@ func NewHTTPFarm(cfg HTTPFarmConfig) (*HTTPFarm, error) {
 		MaxActive:  cfg.MaxActive,
 		MaxQueue:   cfg.MaxQueue,
 		NoCoalesce: cfg.NoCoalesce,
+		FaultTolerance: httpproxy.FaultTolerance{
+			Health: httpproxy.HealthConfig{
+				Enabled:          cfg.Health,
+				ProbeInterval:    cfg.ProbeInterval,
+				FailureThreshold: cfg.FailureThreshold,
+			},
+			MaxRetries: cfg.MaxRetries,
+			HedgeDelay: cfg.HedgeDelay,
+		},
 	})
 	if err != nil {
 		return nil, err

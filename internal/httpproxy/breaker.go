@@ -1,0 +1,180 @@
+package httpproxy
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"github.com/adc-sim/adc/internal/ids"
+)
+
+// Per-peer circuit breakers on the upstream fetch path. Health probing
+// bounds how long a dead peer stays in the routing tables, but between the
+// failure and its detection every forward to that peer still burns a dial
+// timeout. The breaker closes that window: after BreakerThreshold
+// consecutive connection failures to one destination, further fetches to it
+// fail immediately (no socket, no timeout) until a cooldown passes; then a
+// single trial request probes the destination (half-open), and its outcome
+// closes or reopens the circuit. Breakers key on the destination proxy, not
+// the object — it is the peer that is dead, not the data.
+//
+// The origin has no breaker: it is the fallback of last resort, and
+// failing fast toward a destination with no alternative only converts slow
+// errors into fast ones.
+
+// Breaker defaults; FaultTolerance fields override.
+const (
+	defaultBreakerThreshold = 5
+	defaultBreakerCooldown  = time.Second
+)
+
+// errBreakerOpen is the immediate failure an open breaker returns.
+var errBreakerOpen = errors.New("httpproxy: circuit breaker open")
+
+// breakerState is the classic three-state machine.
+type breakerState uint8
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// breaker is one destination's circuit.
+type breaker struct {
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the circuit opened
+	trial    bool      // half-open: a trial request is in flight
+}
+
+// breakerGroup holds one breaker per destination proxy.
+type breakerGroup struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu sync.Mutex
+	m  map[ids.NodeID]*breaker
+}
+
+// newBreakerGroup builds a group; threshold < 0 disables breakers (nil
+// group — every allow passes).
+func newBreakerGroup(threshold int, cooldown time.Duration) *breakerGroup {
+	if threshold < 0 {
+		return nil
+	}
+	if threshold == 0 {
+		threshold = defaultBreakerThreshold
+	}
+	if cooldown <= 0 {
+		cooldown = defaultBreakerCooldown
+	}
+	return &breakerGroup{threshold: threshold, cooldown: cooldown, m: make(map[ids.NodeID]*breaker)}
+}
+
+// allow reports whether a fetch to dest may proceed. In half-open exactly
+// one caller gets through as the trial; everyone else is denied until the
+// trial reports.
+func (g *breakerGroup) allow(dest ids.NodeID) bool {
+	if g == nil {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[dest]
+	if !ok {
+		return true
+	}
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < g.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.trial = true
+		return true
+	default: // half-open
+		if b.trial {
+			return false
+		}
+		b.trial = true
+		return true
+	}
+}
+
+// report feeds a fetch outcome (success = the connection worked) back into
+// dest's circuit.
+func (g *breakerGroup) report(dest ids.NodeID, success bool) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.m[dest]
+	if !ok {
+		if success {
+			return
+		}
+		b = &breaker{}
+		g.m[dest] = b
+	}
+	switch b.state {
+	case breakerClosed:
+		if success {
+			b.fails = 0
+			return
+		}
+		b.fails++
+		if b.fails >= g.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+		}
+	case breakerOpen:
+		// A late result from a fetch that started before the circuit
+		// opened; the cooldown clock is authoritative, ignore it.
+	case breakerHalfOpen:
+		b.trial = false
+		if success {
+			b.state = breakerClosed
+			b.fails = 0
+			return
+		}
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+	}
+}
+
+// snapshot returns the open/half-open destinations for /debug/vars.
+func (g *breakerGroup) snapshot() []BreakerVar {
+	if g == nil {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []BreakerVar
+	for dest, b := range g.m {
+		if b.state == breakerClosed {
+			continue
+		}
+		st := "open"
+		if b.state == breakerHalfOpen {
+			st = "half-open"
+		}
+		out = append(out, BreakerVar{Peer: dest.String(), State: st})
+	}
+	// Sorted for stable JSON (map iteration order is random).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Peer < out[j-1].Peer; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// BreakerVar is one tripped destination in /debug/vars' breaker section.
+type BreakerVar struct {
+	Peer  string `json:"peer"`
+	State string `json:"state"`
+}

@@ -39,6 +39,14 @@ type debugVars struct {
 	// quick grepping) plus the controller's live tracked-set size.
 	Replication *replicationVars `json:"replication,omitempty"`
 
+	// Health is present when the fault-tolerance layer is enabled: probe
+	// counters, detection/recovery totals and every peer's current state.
+	Health *HealthVars `json:"health,omitempty"`
+
+	// Breakers lists currently open or half-open per-peer circuits
+	// (present only while at least one circuit is tripped).
+	Breakers []BreakerVar `json:"breakers,omitempty"`
+
 	// Network is present when a TCP transport network is attached
 	// (Farm.AttachNetwork): dropped batches and per-destination
 	// send-queue depths.
@@ -62,6 +70,9 @@ type NetworkVars struct {
 	// Queues is the instantaneous per-destination send-queue depth,
 	// sorted by (from, to).
 	Queues []transport.QueueDepth `json:"queues"`
+	// Links carries per-destination redial and drop counters, sorted by
+	// (from, to) — the reconnect history Queues alone cannot show.
+	Links []transport.LinkStats `json:"links,omitempty"`
 }
 
 // SetNetworkVars installs (or, with nil, removes) the provider for the
@@ -112,6 +123,11 @@ func (p *Proxy) handleVars(w http.ResponseWriter, r *http.Request) {
 	}
 	netFn := p.netVars
 	p.mu.Unlock()
+	// Outside p.mu: monitor and breakers carry their own locks.
+	if m := p.health.Load(); m != nil {
+		v.Health = m.vars()
+	}
+	v.Breakers = p.breakers.snapshot()
 	if netFn != nil {
 		// Outside p.mu: the provider reads the transport's own locks.
 		nv := netFn()

@@ -5,6 +5,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 
@@ -28,6 +29,7 @@ type Farm struct {
 	// every Get (it used to be a fresh unpooled client per request).
 	client *http.Client
 	tracer *obs.Tracer
+	nw     *transport.Network
 }
 
 // SetTracer installs a request tracer on the whole farm: every proxy, the
@@ -65,6 +67,9 @@ type FarmConfig struct {
 	// Replication configures hot-object replication on every proxy
 	// (zero value = stock ADC).
 	Replication proxy.Replication
+	// FaultTolerance configures health probing, failover routing, circuit
+	// breakers and hedging on every proxy (zero value = all off).
+	FaultTolerance FaultTolerance
 }
 
 // NewFarm starts the origin and all proxies and wires the peer address
@@ -80,15 +85,16 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 	f := &Farm{Origin: origin, client: sharedClient}
 	for i := 0; i < cfg.Proxies; i++ {
 		p, err := NewProxy(Config{
-			ID:         ids.NodeID(i),
-			Tables:     cfg.Tables,
-			OriginURL:  origin.URL(),
-			MaxHops:    cfg.MaxHops,
-			Seed:       cfg.Seed,
-			MaxActive:   cfg.MaxActive,
-			MaxQueue:    cfg.MaxQueue,
-			NoCoalesce:  cfg.NoCoalesce,
-			Replication: cfg.Replication,
+			ID:             ids.NodeID(i),
+			Tables:         cfg.Tables,
+			OriginURL:      origin.URL(),
+			MaxHops:        cfg.MaxHops,
+			Seed:           cfg.Seed,
+			MaxActive:      cfg.MaxActive,
+			MaxQueue:       cfg.MaxQueue,
+			NoCoalesce:     cfg.NoCoalesce,
+			Replication:    cfg.Replication,
+			FaultTolerance: cfg.FaultTolerance,
 		})
 		if err != nil {
 			f.Close() //nolint:errcheck // already on the error path
@@ -114,12 +120,57 @@ func (f *Farm) AttachNetwork(nw *transport.Network) {
 	var fn func() NetworkVars
 	if nw != nil {
 		fn = func() NetworkVars {
-			return NetworkVars{Dropped: nw.Dropped(), Queues: nw.QueueDepths()}
+			st := nw.Stats()
+			return NetworkVars{Dropped: st.Dropped, Queues: nw.QueueDepths(), Links: st.Links}
 		}
 	}
+	f.nw = nw
 	for _, p := range f.Proxies {
 		p.SetNetworkVars(fn)
 	}
+}
+
+// NetworkVars snapshots the attached transport network's health counters,
+// or nil when no network is attached.
+func (f *Farm) NetworkVars() *NetworkVars {
+	if f.nw == nil {
+		return nil
+	}
+	st := f.nw.Stats()
+	return &NetworkVars{Dropped: st.Dropped, Queues: f.nw.QueueDepths(), Links: st.Links}
+}
+
+// Partition cuts all traffic (fetches and probes) between proxies a and b
+// in both directions — one partition edge of the chaos harness. Indices
+// out of range are ignored.
+func (f *Farm) Partition(a, b int) {
+	if a < 0 || b < 0 || a >= len(f.Proxies) || b >= len(f.Proxies) || a == b {
+		return
+	}
+	f.Proxies[a].blockPeer(f.Proxies[b].ID())
+	f.Proxies[b].blockPeer(f.Proxies[a].ID())
+}
+
+// Heal reverses Partition.
+func (f *Farm) Heal(a, b int) {
+	if a < 0 || b < 0 || a >= len(f.Proxies) || b >= len(f.Proxies) || a == b {
+		return
+	}
+	f.Proxies[a].unblockPeer(f.Proxies[b].ID())
+	f.Proxies[b].unblockPeer(f.Proxies[a].ID())
+}
+
+// HealthTransitions merges every proxy's health-transition log, sorted by
+// time. The chaos harness derives time-to-detect and time-to-recover from
+// it: the first down-transition for a killed peer, the first up-transition
+// after its restart.
+func (f *Farm) HealthTransitions() []HealthTransition {
+	var all []HealthTransition
+	for _, p := range f.Proxies {
+		all = append(all, p.HealthTransitions()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
+	return all
 }
 
 // TotalStats aggregates every proxy's counters.

@@ -156,8 +156,9 @@ func (o *Origin) handle(w http.ResponseWriter, r *http.Request) {
 // concurrency is bounded with load shedding (gate.go).
 type Proxy struct {
 	id      ids.NodeID
-	ln      net.Listener
-	srv     *http.Server
+	addr    string // listen address, stable across Kill/Restart
+	url     string
+	mux     *http.ServeMux
 	client  *http.Client
 	origin  string
 	maxHops int
@@ -166,13 +167,36 @@ type Proxy struct {
 	flights  flightGroup
 	coalesce bool
 
+	// Fault tolerance (all nil/zero when FaultTolerance is disabled, so
+	// the hot path pays only nil checks). health is an atomic pointer:
+	// it is installed by SetPeers after handlers may already be running.
+	ft       FaultTolerance
+	health   atomic.Pointer[healthMonitor]
+	breakers *breakerGroup
+
 	// shed/coalesced are updated off-lock: shedding happens precisely
 	// when mu is contended, and a follower's ride-along should not
-	// serialize on the table lock just to count itself.
+	// serialize on the table lock just to count itself. The fault
+	// tolerance counters below follow the same rule — they count on the
+	// failure path, outside the table lock.
 	shed      atomic.Uint64
 	coalesced atomic.Uint64
+	retried   atomic.Uint64
+	failover  atomic.Uint64
+	denied    atomic.Uint64
+	hedged    atomic.Uint64
+	hedgeWins atomic.Uint64
+
+	// Partition state for the chaos harness. nblocked short-circuits the
+	// per-fetch check to one atomic load while no partition is active.
+	nblocked  atomic.Int32
+	blockMu   sync.Mutex
+	blockedTo map[ids.NodeID]struct{}
 
 	mu        sync.Mutex
+	ln        net.Listener // current listener; replaced by Restart
+	srv       *http.Server // current server; replaced by Restart
+	killed    bool         // Kill..Restart window (chaos harness)
 	tables    *core.Tables
 	store     map[ids.ObjectID][]byte
 	pending   map[string]int
@@ -184,6 +208,61 @@ type Proxy struct {
 	tracer    *obs.Tracer
 	replica   *replicator        // nil = stock ADC (replication off)
 	netVars   func() NetworkVars // optional transport-network section of /debug/vars
+}
+
+// FaultTolerance configures the farm's fault-tolerance layer: peer health
+// probing with failover routing, per-peer circuit breakers on the upstream
+// fetch path, bounded-backoff retries for entry requests, and hedged
+// origin fetches. The zero value disables the whole layer — routing,
+// fetching and benchmarks behave exactly as without it.
+type FaultTolerance struct {
+	// Health configures peer probing; Health.Enabled gates the layer.
+	Health HealthConfig
+	// BreakerThreshold is the consecutive-connection-failure count that
+	// opens a peer's circuit (0 = default 5, negative = breakers off).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open circuit rejects fetches before
+	// a half-open trial (0 = default 1s).
+	BreakerCooldown time.Duration
+	// MaxRetries bounds per-entry-request failover retries after a
+	// failed chain (0 = default 2, negative = no retries). Mid-chain
+	// hops never retry: exactly one proxy — the entry — owns failover,
+	// so a dead peer cannot multiply upstream attempts hop by hop.
+	MaxRetries int
+	// RetryBackoff is the initial retry delay, doubling per attempt
+	// (0 = default 25ms).
+	RetryBackoff time.Duration
+	// HedgeDelay, when positive, starts a parallel direct-origin fetch
+	// for an entry chain still unresolved after this long, and the first
+	// success wins. Set it near the observed forwarding p99: hedges then
+	// trade a small duplicate-fetch rate for cutting the timeout tail of
+	// chains through a dying peer. 0 disables hedging.
+	HedgeDelay time.Duration
+}
+
+// Failover-retry defaults; FaultTolerance fields override.
+const (
+	defaultEntryRetries = 2
+	defaultRetryBackoff = 25 * time.Millisecond
+)
+
+// withDefaults normalizes the policy. With Health.Enabled false the whole
+// struct collapses to the zero value: no monitor, no breakers, no retries.
+func (ft FaultTolerance) withDefaults() FaultTolerance {
+	if !ft.Health.Enabled {
+		return FaultTolerance{}
+	}
+	ft.Health = ft.Health.withDefaults()
+	switch {
+	case ft.MaxRetries < 0:
+		ft.MaxRetries = 0
+	case ft.MaxRetries == 0:
+		ft.MaxRetries = defaultEntryRetries
+	}
+	if ft.RetryBackoff <= 0 {
+		ft.RetryBackoff = defaultRetryBackoff
+	}
+	return ft
 }
 
 // Config assembles one HTTP proxy.
@@ -209,6 +288,9 @@ type Config struct {
 	// Replication configures the hot-object replication controller
 	// (see internal/proxy; zero value = stock ADC).
 	Replication proxy.Replication
+	// FaultTolerance configures health probing, failover routing,
+	// circuit breakers and hedging (zero value = all off).
+	FaultTolerance FaultTolerance
 	// Client overrides the shared pooled HTTP client (tests).
 	Client *http.Client
 }
@@ -232,14 +314,18 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	if client == nil {
 		client = sharedClient
 	}
+	ft := cfg.FaultTolerance.withDefaults()
 	p := &Proxy{
 		id:       cfg.ID,
+		addr:     ln.Addr().String(),
+		url:      "http://" + ln.Addr().String(),
 		ln:       ln,
 		client:   client,
 		origin:   cfg.OriginURL,
 		maxHops:  cfg.MaxHops,
 		gate:     newGate(cfg.MaxActive, cfg.MaxQueue),
 		coalesce: !cfg.NoCoalesce,
+		ft:       ft,
 		tables:   tables,
 		store:    make(map[ids.ObjectID][]byte),
 		pending:  make(map[string]int),
@@ -249,17 +335,29 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	if repCfg.Enabled {
 		p.replica = newReplicator(repCfg)
 	}
+	if ft.Health.Enabled {
+		p.breakers = newBreakerGroup(ft.BreakerThreshold, ft.BreakerCooldown)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(objPathPrefix, p.handle)
+	mux.HandleFunc(healthzPath, handleHealthz)
 	registerDebug(mux, p)
+	p.mux = mux
 	p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go p.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
 	return p, nil
 }
 
+// handleHealthz is the liveness probe target: it answers before any lock,
+// so it reports "process accepting connections", nothing more.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok"))
+}
+
 // Handler exposes the proxy's full mux (object path plus debug endpoints)
 // for in-process serving, e.g. under httptest.
-func (p *Proxy) Handler() http.Handler { return p.srv.Handler }
+func (p *Proxy) Handler() http.Handler { return p.mux }
 
 // SetTracer installs the request tracer.
 func (p *Proxy) SetTracer(t *obs.Tracer) {
@@ -268,8 +366,8 @@ func (p *Proxy) SetTracer(t *obs.Tracer) {
 	p.tracer = t
 }
 
-// URL returns the proxy's base URL.
-func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+// URL returns the proxy's base URL, stable across Kill/Restart.
+func (p *Proxy) URL() string { return p.url }
 
 // ID returns the proxy's node ID.
 func (p *Proxy) ID() ids.NodeID { return p.id }
@@ -292,6 +390,9 @@ func (p *Proxy) SetPeers(urls map[ids.NodeID]string) {
 	if p.replica != nil {
 		p.replica.sizeLoad(p.peers)
 	}
+	if p.ft.Health.Enabled && p.health.Load() == nil {
+		p.health.Store(newHealthMonitor(p.ft.Health, p.id, urls, p.isBlocked))
+	}
 }
 
 // Stats snapshots the proxy's counters, folding in the off-lock shed and
@@ -302,6 +403,11 @@ func (p *Proxy) Stats() metrics.ProxyStats {
 	p.mu.Unlock()
 	s.Shed = p.shed.Load()
 	s.CoalescedMisses = p.coalesced.Load()
+	s.RetriedFetches = p.retried.Load()
+	s.FailoverOrigin = p.failover.Load()
+	s.BreakerDenied = p.denied.Load()
+	s.HedgedFetches = p.hedged.Load()
+	s.HedgeWins = p.hedgeWins.Load()
 	return s
 }
 
@@ -316,8 +422,140 @@ func (p *Proxy) CacheLen() int {
 	return len(p.store)
 }
 
-// Close shuts the proxy down.
-func (p *Proxy) Close() error { return p.srv.Close() }
+// Close shuts the proxy down, stopping the health monitor first so its
+// probe goroutines do not outlive the farm.
+func (p *Proxy) Close() error {
+	if m := p.health.Load(); m != nil {
+		m.close()
+	}
+	p.mu.Lock()
+	srv := p.srv
+	killed := p.killed
+	p.mu.Unlock()
+	if killed {
+		return nil // Kill already closed the listener and server
+	}
+	return srv.Close()
+}
+
+// Kill simulates a process crash for the chaos harness: the listener and
+// server close, cutting in-flight requests. The in-memory tables and store
+// survive — Restart models a fast process restart on the same port, not a
+// cold rejoin — but peers see exactly what a crash looks like: refused
+// connections and failed probes.
+func (p *Proxy) Kill() error {
+	p.mu.Lock()
+	if p.killed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.killed = true
+	srv := p.srv
+	p.mu.Unlock()
+	// A dead process does not probe; freeze this proxy's own monitor.
+	if m := p.health.Load(); m != nil {
+		m.pause()
+	}
+	return srv.Close()
+}
+
+// Restart rebinds a killed proxy's listener on its original port and
+// resumes serving and probing. The OS may hold the port briefly after
+// Kill, so binding retries for up to ~1s.
+func (p *Proxy) Restart() error {
+	p.mu.Lock()
+	if !p.killed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.mu.Unlock()
+	var ln net.Listener
+	var err error
+	for i := 0; i < 100; i++ {
+		ln, err = net.Listen("tcp", p.addr)
+		if err == nil {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err != nil {
+		return fmt.Errorf("httpproxy: restart %v on %s: %w", p.id, p.addr, err)
+	}
+	srv := &http.Server{Handler: p.mux, ReadHeaderTimeout: 5 * time.Second}
+	p.mu.Lock()
+	p.ln = ln
+	p.srv = srv
+	p.killed = false
+	p.mu.Unlock()
+	go srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
+	if m := p.health.Load(); m != nil {
+		m.resume()
+	}
+	return nil
+}
+
+// Killed reports whether the proxy is inside a Kill..Restart window.
+func (p *Proxy) Killed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.killed
+}
+
+// blockPeer cuts this proxy's outbound traffic (fetches and probes) to
+// peer — one direction of a chaos partition.
+func (p *Proxy) blockPeer(peer ids.NodeID) {
+	p.blockMu.Lock()
+	if p.blockedTo == nil {
+		p.blockedTo = make(map[ids.NodeID]struct{})
+	}
+	if _, ok := p.blockedTo[peer]; !ok {
+		p.blockedTo[peer] = struct{}{}
+		p.nblocked.Add(1)
+	}
+	p.blockMu.Unlock()
+}
+
+// unblockPeer heals one direction of a partition.
+func (p *Proxy) unblockPeer(peer ids.NodeID) {
+	p.blockMu.Lock()
+	if _, ok := p.blockedTo[peer]; ok {
+		delete(p.blockedTo, peer)
+		p.nblocked.Add(-1)
+	}
+	p.blockMu.Unlock()
+}
+
+// isBlocked reports whether outbound traffic to peer is partitioned away.
+// The atomic short-circuits the check to one load while no partition is
+// active, which is every request of a non-chaos run.
+func (p *Proxy) isBlocked(peer ids.NodeID) bool {
+	if p.nblocked.Load() == 0 {
+		return false
+	}
+	p.blockMu.Lock()
+	_, ok := p.blockedTo[peer]
+	p.blockMu.Unlock()
+	return ok
+}
+
+// HealthState reports this proxy's belief about peer (PeerUp when health
+// probing is off).
+func (p *Proxy) HealthState(peer ids.NodeID) PeerState {
+	if m := p.health.Load(); m != nil {
+		return m.state(peer)
+	}
+	return PeerUp
+}
+
+// HealthTransitions returns the monitor's timestamped transition log (nil
+// when health probing is off) — the chaos harness's time-to-detect and
+// time-to-recover source.
+func (p *Proxy) HealthTransitions() []HealthTransition {
+	if m := p.health.Load(); m != nil {
+		return m.Transitions()
+	}
+	return nil
+}
 
 // handle is Receive_Request (Fig. 5) over HTTP.
 func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
@@ -388,17 +626,24 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	// Miss path. Entry requests coalesce: concurrent misses on one cold
 	// object share a single upstream chain (see flight.go for why
 	// forwarded hops must not join flights). Each waiter still runs its
-	// own Receive_Reply below.
+	// own Receive_Reply below. Entry chains also own the fault-tolerance
+	// policy (resolveEntry): retries, hedging and the origin fallback run
+	// at exactly one proxy per request, so a dead peer cannot multiply
+	// upstream attempts hop by hop.
+	entryChain := forwards == 0 && !looped && !atMax
 	var res flightResult
-	if p.coalesce && forwards == 0 && !looped && !atMax {
+	switch {
+	case p.coalesce && entryChain:
 		var shared bool
 		res, shared = p.flights.do(obj, func() flightResult {
-			return p.resolveMiss(obj, reqID, forwards, false, false)
+			return p.resolveEntry(obj, reqID)
 		})
 		if shared {
 			p.coalesced.Add(1)
 		}
-	} else {
+	case entryChain:
+		res = p.resolveEntry(obj, reqID)
+	default:
 		res = p.resolveMiss(obj, reqID, forwards, looped, atMax)
 	}
 
@@ -486,7 +731,7 @@ func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped
 		p.stats.ForwardOrigin++
 		upstream = p.origin
 	default:
-		upstream, upNode, reason = p.forwardAddrLocked(obj)
+		upstream, upNode, reason = p.forwardAddrLocked(obj, forwards == 0)
 	}
 	if p.tracer.Enabled(obs.KindForward) {
 		e := obs.Ev(obs.KindForward, p.id)
@@ -500,7 +745,7 @@ func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped
 	p.mu.Unlock()
 
 	var res flightResult
-	res.body, res.hdr, res.status, res.err = p.fetch(upstream, obj, reqID, forwards+1)
+	res.body, res.hdr, res.status, res.err = p.fetch(upstream, upNode, obj, reqID, forwards+1)
 
 	p.mu.Lock()
 	// Retire the stored backwarding pass.
@@ -515,28 +760,166 @@ func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped
 
 // forwardAddrLocked is Forward_Addr (Fig. 6); p.mu must be held. Besides
 // the upstream URL it reports the destination node and the routing reason
-// for the trace.
-func (p *Proxy) forwardAddrLocked(obj ids.ObjectID) (string, ids.NodeID, int64) {
+// for the trace. With health probing on, destinations the monitor believes
+// down are skipped: a learned location that died is lazily invalidated
+// (mirroring the virtual-time path's stale-location invalidation) and the
+// forward falls back — to the origin at the entry proxy (the one place
+// where giving up on peers cannot lengthen a chain), to a random routable
+// peer mid-chain.
+func (p *Proxy) forwardAddrLocked(obj ids.ObjectID, entry bool) (string, ids.NodeID, int64) {
 	if p.replica != nil {
-		return p.forwardAddrReplicatedLocked(obj)
+		return p.forwardAddrReplicatedLocked(obj, entry)
 	}
+	m := p.health.Load()
 	if loc, ok := p.tables.ForwardLocation(obj); ok {
 		if loc == p.id {
 			p.stats.ForwardOrigin++
 			return p.origin, ids.Origin, obs.ReasonSelfOrigin
 		}
 		if url, known := p.peerURL[loc]; known {
-			p.stats.ForwardLearned++
-			return url, loc, obs.ReasonLearned
+			if m.routable(loc) {
+				p.stats.ForwardLearned++
+				return url, loc, obs.ReasonLearned
+			}
+			// The learned location is down: demote the stale entry so
+			// later requests relearn, then fail over.
+			if p.tables.Invalidate(obj) {
+				p.stats.StaleInvalidated++
+			}
+			if entry {
+				p.stats.ForwardOrigin++
+				return p.origin, ids.Origin, obs.ReasonFailover
+			}
 		}
 	}
-	p.stats.ForwardRandom++
-	peer := p.peers[p.rng.Intn(len(p.peers))]
-	return p.peerURL[peer], peer, obs.ReasonRandom
+	if peer, ok := p.pickPeerLocked(m); ok {
+		p.stats.ForwardRandom++
+		return p.peerURL[peer], peer, obs.ReasonRandom
+	}
+	// Every peer is down; the origin is the only resolver left.
+	p.stats.ForwardOrigin++
+	return p.origin, ids.Origin, obs.ReasonFailover
 }
 
-// fetch issues the upstream GET carrying the ADC headers.
-func (p *Proxy) fetch(base string, obj ids.ObjectID, reqID string, forwards int) ([]byte, http.Header, int, error) {
+// pickPeerLocked draws a random peer, skipping down ones. With health
+// probing off (nil monitor) it makes exactly the one rng draw the stock
+// path made, keeping seeded runs byte-identical.
+func (p *Proxy) pickPeerLocked(m *healthMonitor) (ids.NodeID, bool) {
+	if m == nil {
+		return p.peers[p.rng.Intn(len(p.peers))], true
+	}
+	cand := make([]ids.NodeID, 0, len(p.peers))
+	for _, peer := range p.peers {
+		if m.routable(peer) {
+			cand = append(cand, peer)
+		}
+	}
+	if len(cand) == 0 {
+		return ids.None, false
+	}
+	return cand[p.rng.Intn(len(cand))], true
+}
+
+// resolved reports whether a flight result is worth returning to the
+// client: the transport worked and the upstream did not fail server-side.
+// 4xx passes through — retrying a Bad Request elsewhere cannot fix it.
+func resolved(res flightResult) bool {
+	return res.err == nil && res.status < http.StatusInternalServerError
+}
+
+// resolveEntry is the entry chain's miss path: resolveMiss plus the
+// fault-tolerance policy — bounded-backoff retries of the whole chain and
+// a final direct-origin fallback. Only entry proxies run it, for the same
+// reason only they coalesce: exactly one proxy owns failover per request,
+// so retries cannot stack hop by hop and the fallback cannot loop.
+func (p *Proxy) resolveEntry(obj ids.ObjectID, reqID string) flightResult {
+	res := p.resolveMissHedged(obj, reqID)
+	if resolved(res) || !p.ft.Health.Enabled {
+		return res
+	}
+	backoff := p.ft.RetryBackoff
+	for attempt := 0; attempt < p.ft.MaxRetries; attempt++ {
+		p.retried.Add(1)
+		time.Sleep(backoff)
+		backoff *= 2
+		res = p.resolveMiss(obj, reqID, 0, false, false)
+		if resolved(res) {
+			return res
+		}
+	}
+	// Last resort: ask the origin directly. The failed attempts already
+	// fed the health monitor, so routing is healing; this keeps the
+	// client whole in the meantime.
+	p.failover.Add(1)
+	var alt flightResult
+	alt.body, alt.hdr, alt.status, alt.err = p.fetch(p.origin, ids.Origin, obj, reqID, 1)
+	if resolved(alt) {
+		return alt
+	}
+	return res // origin failed too; report the original chain error
+}
+
+// resolveMissHedged runs an entry miss with an optional hedge: if the
+// chain is still unresolved after HedgeDelay, a parallel direct-origin
+// fetch starts and the first usable answer wins. Both channels are
+// buffered so the losing branch always completes into the buffer and its
+// goroutine exits — no leaks, no waiting on the loser.
+func (p *Proxy) resolveMissHedged(obj ids.ObjectID, reqID string) flightResult {
+	if p.ft.HedgeDelay <= 0 {
+		return p.resolveMiss(obj, reqID, 0, false, false)
+	}
+	primary := make(chan flightResult, 1)
+	go func() { primary <- p.resolveMiss(obj, reqID, 0, false, false) }()
+	timer := time.NewTimer(p.ft.HedgeDelay)
+	defer timer.Stop()
+	select {
+	case res := <-primary:
+		return res
+	case <-timer.C:
+	}
+	p.hedged.Add(1)
+	hedge := make(chan flightResult, 1)
+	go func() {
+		var res flightResult
+		res.body, res.hdr, res.status, res.err = p.fetch(p.origin, ids.Origin, obj, reqID, 1)
+		hedge <- res
+	}()
+	select {
+	case res := <-primary:
+		if resolved(res) {
+			return res
+		}
+		if alt := <-hedge; resolved(alt) {
+			p.hedgeWins.Add(1)
+			return alt
+		}
+		return res
+	case alt := <-hedge:
+		if resolved(alt) {
+			p.hedgeWins.Add(1)
+			return alt
+		}
+		return <-primary
+	}
+}
+
+// fetch issues the upstream GET carrying the ADC headers. dest names the
+// destination node so the fault-tolerance layer can attribute the outcome:
+// a partition blocks the connection up front, an open breaker fails fast,
+// and the connection result feeds dest's health machine and circuit. Only
+// transport errors count against a peer — a live proxy answering 5xx is a
+// content problem, not a dead process.
+func (p *Proxy) fetch(base string, dest ids.NodeID, obj ids.ObjectID, reqID string, forwards int) ([]byte, http.Header, int, error) {
+	if dest.IsProxy() && p.isBlocked(dest) {
+		if m := p.health.Load(); m != nil {
+			m.reportFailure(dest)
+		}
+		return nil, nil, 0, fmt.Errorf("httpproxy: %v unreachable from %v (partitioned)", dest, p.id)
+	}
+	if dest.IsProxy() && !p.breakers.allow(dest) {
+		p.denied.Add(1)
+		return nil, nil, 0, fmt.Errorf("httpproxy: fetch %v: %w", dest, errBreakerOpen)
+	}
 	req, err := http.NewRequest(http.MethodGet, ObjectURL(base, obj), nil)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("httpproxy: build upstream request: %w", err)
@@ -549,6 +932,16 @@ func (p *Proxy) fetch(base string, obj ids.ObjectID, reqID string, forwards int)
 		req.Header.Set(HeaderSender, p.id.String())
 	}
 	resp, err := p.client.Do(req)
+	if dest.IsProxy() {
+		p.breakers.report(dest, err == nil)
+		if m := p.health.Load(); m != nil {
+			if err != nil {
+				m.reportFailure(dest)
+			} else {
+				m.reportSuccess(dest)
+			}
+		}
+	}
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("httpproxy: upstream fetch: %w", err)
 	}

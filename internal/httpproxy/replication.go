@@ -316,21 +316,26 @@ func (p *Proxy) recordOutcomeLocked(out core.Outcome) {
 // forwardAddrReplicatedLocked is Forward_Addr with location sets: among the
 // entry's known holders the proxy picks by power-of-two-choices on its
 // local per-peer load estimates, ties breaking to the lower proxy ID.
-// Mirrors the simulator's forwardAddrReplicated.
-func (p *Proxy) forwardAddrReplicatedLocked(obj ids.ObjectID) (string, ids.NodeID, int64) {
+// Mirrors the simulator's forwardAddrReplicated. With health probing on,
+// down holders are skipped; when every known holder is down the stale set
+// is invalidated and the forward fails over like the stock path.
+func (p *Proxy) forwardAddrReplicatedLocked(obj ids.ObjectID, entry bool) (string, ids.NodeID, int64) {
 	r := p.replica
+	m := p.health.Load()
 	loc, replicas, ok := p.tables.ForwardSet(obj)
 	if !ok {
-		p.stats.ForwardRandom++
-		peer := p.peers[p.rng.Intn(len(p.peers))]
-		r.addLoad(peer)
-		return p.peerURL[peer], peer, obs.ReasonRandom
+		return p.randomReplicatedLocked(m)
 	}
 	var buf [9]ids.NodeID // MaxReplicas is small; 9 covers loc + 8 replicas
 	cand := buf[:0]
+	skippedDown := false
 	if loc.IsProxy() && loc != p.id {
 		if _, known := p.peerURL[loc]; known {
-			cand = append(cand, loc)
+			if m.routable(loc) {
+				cand = append(cand, loc)
+			} else {
+				skippedDown = true
+			}
 		}
 	}
 	for _, n := range replicas {
@@ -338,8 +343,24 @@ func (p *Proxy) forwardAddrReplicatedLocked(obj ids.ObjectID) (string, ids.NodeI
 			continue
 		}
 		if _, known := p.peerURL[n]; known {
-			cand = append(cand, n)
+			if m.routable(n) {
+				cand = append(cand, n)
+			} else {
+				skippedDown = true
+			}
 		}
+	}
+	if skippedDown && len(cand) == 0 {
+		// Every known holder is down: demote the stale entry so later
+		// requests relearn instead of re-resolving dead holders.
+		if p.tables.Invalidate(obj) {
+			p.stats.StaleInvalidated++
+		}
+		if entry {
+			p.stats.ForwardOrigin++
+			return p.origin, ids.Origin, obs.ReasonFailover
+		}
+		return p.randomReplicatedLocked(m)
 	}
 	switch len(cand) {
 	case 0:
@@ -365,4 +386,17 @@ func (p *Proxy) forwardAddrReplicatedLocked(obj ids.ObjectID) (string, ids.NodeI
 	p.stats.ForwardLearned++
 	r.addLoad(a)
 	return p.peerURL[a], a, obs.ReasonLearned
+}
+
+// randomReplicatedLocked is the replicated path's random fallback,
+// load-accounted like every replicated forward; when health probing says
+// no peer is routable the origin is the only resolver left.
+func (p *Proxy) randomReplicatedLocked(m *healthMonitor) (string, ids.NodeID, int64) {
+	if peer, ok := p.pickPeerLocked(m); ok {
+		p.stats.ForwardRandom++
+		p.replica.addLoad(peer)
+		return p.peerURL[peer], peer, obs.ReasonRandom
+	}
+	p.stats.ForwardOrigin++
+	return p.origin, ids.Origin, obs.ReasonFailover
 }

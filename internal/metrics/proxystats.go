@@ -70,6 +70,25 @@ type ProxyStats struct {
 	// copy — requests the stock protocol would have concentrated on the
 	// object's single converged location.
 	ReplicaHits uint64
+
+	// RetriedFetches counts entry-chain retries after a failed upstream
+	// chain (HTTP farm fault tolerance; entry proxies only).
+	RetriedFetches uint64
+
+	// FailoverOrigin counts entry chains that fell back to a direct
+	// origin fetch after exhausting retries.
+	FailoverOrigin uint64
+
+	// BreakerDenied counts upstream fetches rejected immediately by an
+	// open per-peer circuit breaker.
+	BreakerDenied uint64
+
+	// HedgedFetches counts entry chains that started a parallel
+	// direct-origin hedge after HedgeDelay.
+	HedgedFetches uint64
+
+	// HedgeWins counts hedged chains where the hedge's answer was used.
+	HedgeWins uint64
 }
 
 // Add accumulates other into s, for cluster-wide totals.
@@ -91,6 +110,11 @@ func (s *ProxyStats) Add(other ProxyStats) {
 	s.ReplicaPushes += other.ReplicaPushes
 	s.ReplicaDrops += other.ReplicaDrops
 	s.ReplicaHits += other.ReplicaHits
+	s.RetriedFetches += other.RetriedFetches
+	s.FailoverOrigin += other.FailoverOrigin
+	s.BreakerDenied += other.BreakerDenied
+	s.HedgedFetches += other.HedgedFetches
+	s.HedgeWins += other.HedgeWins
 }
 
 // LocalHitRate returns LocalHits/Requests for this proxy.

@@ -119,6 +119,10 @@ const (
 	ReasonMaxHops
 	// ReasonHashed: the hashing baseline's assigned-proxy forward.
 	ReasonHashed
+	// ReasonFailover: the learned location (or every peer) is marked down
+	// by the health subsystem, so the forward goes to the origin instead
+	// (HTTP farm fault tolerance).
+	ReasonFailover
 )
 
 // ForwardReasonString names a KindForward Arg value.
@@ -136,6 +140,8 @@ func ForwardReasonString(arg int64) string {
 		return "max-hops"
 	case ReasonHashed:
 		return "hashed"
+	case ReasonFailover:
+		return "failover"
 	default:
 		return fmt.Sprintf("reason(%d)", arg)
 	}

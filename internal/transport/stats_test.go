@@ -1,0 +1,91 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"github.com/adc-sim/adc/internal/ids"
+	"github.com/adc-sim/adc/internal/msg"
+)
+
+// TestNetworkStats exercises the per-link counters: a healthy exchange
+// reports the active links sorted with zero redials and drops, and a
+// severed connection shows up as a redial on the sender's link.
+func TestNetworkStats(t *testing.T) {
+	nw := NewNetwork()
+	sink := &sinkNode{id: 0}
+	driver := &sinkNode{id: 1}
+	for _, n := range []*sinkNode{sink, driver} {
+		if err := nw.Register(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan struct{})
+	runErr := make(chan error, 1)
+	go func() { runErr <- nw.Run(done) }()
+
+	send := func(from, to ids.NodeID, n, base int) {
+		ep := nw.endpoints[from]
+		for i := 0; i < n; i++ {
+			ep.Send(&msg.Request{
+				To:     to,
+				ID:     ids.RequestID(base + i),
+				Object: ids.ObjectID(i),
+				Client: from,
+				Sender: from,
+			})
+		}
+	}
+	send(1, 0, 50, 0)
+	send(0, 1, 50, 1000)
+	waitCount(t, sink, 50, 10*time.Second)
+	waitCount(t, driver, 50, 10*time.Second)
+
+	st := nw.Stats()
+	if st.Dropped != 0 {
+		t.Errorf("Dropped = %d on a healthy loopback network", st.Dropped)
+	}
+	if len(st.Links) != 2 {
+		t.Fatalf("Stats has %d links, want 2 (one per direction): %+v", len(st.Links), st.Links)
+	}
+	// Sorted by (From, To) for stable JSON.
+	if st.Links[0].From != 0 || st.Links[0].To != 1 || st.Links[1].From != 1 || st.Links[1].To != 0 {
+		t.Errorf("links out of order: %+v", st.Links)
+	}
+	for _, l := range st.Links {
+		if l.Redials != 0 || l.Dropped != 0 {
+			t.Errorf("link %d->%d: redials=%d dropped=%d on a healthy network",
+				l.From, l.To, l.Redials, l.Dropped)
+		}
+	}
+
+	// Sever the established connection into the sink; the next sends force
+	// the 1->0 writer to redial, and Stats must count it.
+	nw.endpoints[0].severInbound()
+	deadline := time.Now().Add(10 * time.Second)
+	for i := 0; ; i++ {
+		send(1, 0, 1, 2000+i)
+		if redials(nw, 1, 0) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sender never redialed after the connection was severed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(done)
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// redials reads one link's redial count from a stats snapshot.
+func redials(nw *Network, from, to ids.NodeID) uint64 {
+	for _, l := range nw.Stats().Links {
+		if l.From == from && l.To == to {
+			return l.Redials
+		}
+	}
+	return 0
+}

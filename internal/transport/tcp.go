@@ -57,9 +57,10 @@ type Network struct {
 	quit      chan struct{}
 	dropped   atomic.Uint64
 
-	mu      sync.Mutex
-	started bool
-	closed  bool
+	mu        sync.Mutex
+	started   bool
+	closed    bool
+	onLinkErr func(from, to ids.NodeID)
 }
 
 // endpoint is one node's listener plus its outgoing peer links.
@@ -86,12 +87,19 @@ type endpoint struct {
 // peerLink is the sender half of one (endpoint, destination) pair.
 type peerLink struct {
 	addr string
+	to   ids.NodeID
 	ch   chan []byte
+
+	// redials counts reconnect dials after the initial one; dropped
+	// counts batches abandoned on this link. Both feed Stats.
+	redials atomic.Uint64
+	dropped atomic.Uint64
 
 	// mu guards conn, which the writer goroutine owns; shutdown closes
 	// it to unblock a writer stuck in Write.
-	mu   sync.Mutex
-	conn net.Conn
+	mu     sync.Mutex
+	conn   net.Conn
+	dialed bool // a connection has been established at least once
 }
 
 // NewNetwork returns an empty network.
@@ -137,6 +145,69 @@ func (nw *Network) Addr(id ids.NodeID) (string, bool) {
 // Dropped returns how many outgoing batches were abandoned because their
 // destination stayed unreachable through the redial window.
 func (nw *Network) Dropped() uint64 { return nw.dropped.Load() }
+
+// OnLinkFailure registers fn, called whenever a link abandons a batch —
+// its destination stayed unreachable through the whole redial window. This
+// is the transport's signal to a health layer that a peer is gone, instead
+// of silently redialing forever. fn runs on the failing link's writer
+// goroutine: keep it fast and non-blocking. Pass nil to remove.
+func (nw *Network) OnLinkFailure(fn func(from, to ids.NodeID)) {
+	nw.mu.Lock()
+	nw.onLinkErr = fn
+	nw.mu.Unlock()
+}
+
+func (nw *Network) linkFailureFn() func(from, to ids.NodeID) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	return nw.onLinkErr
+}
+
+// LinkStats is one (sender, destination) link's cumulative counters plus
+// its instantaneous queue depth. Redials counts re-established connections
+// after the first (a restarting peer shows up here even when no batch was
+// lost); Dropped counts batches this link abandoned.
+type LinkStats struct {
+	From       ids.NodeID `json:"from"`
+	To         ids.NodeID `json:"to"`
+	Redials    uint64     `json:"redials"`
+	Dropped    uint64     `json:"dropped"`
+	QueueDepth int        `json:"queue_depth"`
+}
+
+// Stats snapshots the network's health counters: the total dropped-batch
+// count plus every established link's redials, drops and backlog, sorted
+// by (From, To). Like QueueDepths, the snapshot is not atomic across
+// links; each counter is exact at its own read.
+type Stats struct {
+	Dropped uint64      `json:"dropped"`
+	Links   []LinkStats `json:"links"`
+}
+
+// Stats snapshots the network; see the Stats type.
+func (nw *Network) Stats() Stats {
+	st := Stats{Dropped: nw.dropped.Load()}
+	for id, ep := range nw.endpoints {
+		ep.peersMu.Lock()
+		for dst, pl := range ep.peers {
+			st.Links = append(st.Links, LinkStats{
+				From:       id,
+				To:         dst,
+				Redials:    pl.redials.Load(),
+				Dropped:    pl.dropped.Load(),
+				QueueDepth: len(pl.ch),
+			})
+		}
+		ep.peersMu.Unlock()
+	}
+	sort.Slice(st.Links, func(i, j int) bool {
+		if st.Links[i].From != st.Links[j].From {
+			return st.Links[i].From < st.Links[j].From
+		}
+		return st.Links[i].To < st.Links[j].To
+	})
+	return st
+}
 
 // QueueDepth is one (sender, destination) link's instantaneous backlog:
 // how many encoded frames sit in its bounded send queue waiting for the
@@ -305,7 +376,7 @@ func (ep *endpoint) linkTo(dst ids.NodeID) *peerLink {
 	if !ok {
 		return nil
 	}
-	pl := &peerLink{addr: addr, ch: make(chan []byte, sendQueueDepth)}
+	pl := &peerLink{addr: addr, to: dst, ch: make(chan []byte, sendQueueDepth)}
 	ep.peers[dst] = pl
 	ep.net.wg.Add(1)
 	go func() {
@@ -341,6 +412,10 @@ func (ep *endpoint) writeLoop(pl *peerLink) {
 		}
 		if !ep.writeBatch(pl, batch) {
 			ep.net.dropped.Add(1)
+			pl.dropped.Add(1)
+			if fn := ep.net.linkFailureFn(); fn != nil {
+				fn(ep.node.ID(), pl.to)
+			}
 		}
 	}
 }
@@ -385,6 +460,7 @@ func (pl *peerLink) current() net.Conn {
 }
 
 // install adopts a freshly dialed connection unless shutdown has begun.
+// Every connection after the link's first counts as a redial.
 func (pl *peerLink) install(c net.Conn, quit <-chan struct{}) bool {
 	select {
 	case <-quit:
@@ -393,6 +469,11 @@ func (pl *peerLink) install(c net.Conn, quit <-chan struct{}) bool {
 	}
 	pl.mu.Lock()
 	pl.conn = c
+	if pl.dialed {
+		pl.redials.Add(1)
+	} else {
+		pl.dialed = true
+	}
 	pl.mu.Unlock()
 	return true
 }
