@@ -35,7 +35,7 @@ REPLICATION_BENCH = BenchmarkReplicationZipf
 # benchjson compare warns when they differ between baseline and candidate.
 PARALLEL_BENCH = BenchmarkPEngineScaling
 
-.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-replication bench-replication-baseline bench-compare bench-sweep bench-profile loadtest chaos trace-smoke figures clean
+.PHONY: all build test race vet faults bench bench-tables bench-farm bench-parallel bench-replication bench-replication-baseline bench-compare bench-sweep bench-profile loadtest chaos trace-smoke telemetry-smoke figures clean
 
 all: build test
 
@@ -161,9 +161,20 @@ trace-smoke:
 	$(GO) run ./cmd/adctrace validate trace-smoke.jsonl
 	$(GO) run ./cmd/adctrace summary trace-smoke.jsonl
 
+# Farm-telemetry smoke (DESIGN.md §17): a traced chaos run — every request
+# spanned across proxies, every proxy's /metrics scraped and linted against
+# the strict exposition parser — then adctrace farm reconstructs the
+# cross-proxy trees from the scraped span dumps and gates on ≥99% of
+# sampled requests forming complete (or explicitly truncated) trees.
+telemetry-smoke:
+	$(GO) run ./cmd/adcload -proxies 8 -rate 1500 -duration 8s -warm 2000 \
+	  -chaos 'kill=p2@2s,restart=p2@5s' -probe-interval 50ms -quiet \
+	  -trace-sample 1 -trace-dump telemetry-smoke.spans.json -lint-metrics
+	$(GO) run ./cmd/adctrace farm -min-complete 0.99 telemetry-smoke.spans.json
+
 figures:
 	$(GO) run ./cmd/adcfigures
 
 clean:
 	$(GO) clean ./...
-	rm -rf figures/*.csv cpu.out mem.out sim.test trace-smoke.jsonl
+	rm -rf figures/*.csv cpu.out mem.out sim.test trace-smoke.jsonl telemetry-smoke.spans.json

@@ -9,10 +9,13 @@
 // Optionally warm the farm first with a synthetic workload (-warm) so the
 // caches and mapping tables start converged.
 //
-// Every proxy also serves live introspection under /debug: /debug/vars
-// (JSON counters and table occupancy), /debug/tables (mapping-table dump)
-// and /debug/pprof/ (Go profiler). With -trace, a request-path trace is
-// recorded and written as JSON Lines on shutdown for adctrace.
+// Every proxy also serves live introspection: /debug/vars (JSON counters
+// and table occupancy), /debug/tables (mapping-table dump), /metrics
+// (Prometheus text exposition — point adctop at the proxy URLs for a live
+// dashboard) and /debug/pprof/ (Go profiler). With -trace, a request-path
+// trace is recorded and written as JSON Lines on shutdown for adctrace;
+// with -trace-sample N, cross-proxy spans are recorded into per-proxy
+// /debug/trace rings for adctrace farm.
 package main
 
 import (
@@ -45,6 +48,7 @@ func run(args []string) error {
 		parallel = fs.Int("parallel", runtime.NumCPU(), "concurrent warm-up clients (1 = deterministic single client)")
 		traceOn  = fs.Bool("trace", false, "record a request-path trace, written on shutdown")
 		traceOut = fs.String("trace-out", "farm-trace.jsonl", "trace output file (JSON Lines; with -trace)")
+		traceN   = fs.Int("trace-sample", 0, "span-trace 1-in-N entry requests across proxies (0 = off, 1 = all; see adctrace farm)")
 
 		health        = fs.Bool("health", false, "enable peer health probing, failover routing and circuit breakers")
 		probeInterval = fs.Duration("probe-interval", 0, "health probe interval (0 = default 250ms; with -health)")
@@ -67,6 +71,7 @@ func run(args []string) error {
 		FailureThreshold: *failThreshold,
 		MaxRetries:       *retries,
 		HedgeDelay:       *hedge,
+		TraceSample:      *traceN,
 	})
 	if err != nil {
 		return err
@@ -102,12 +107,18 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("proxy %d: %s  (introspection: %s/debug/vars, %s/debug/tables, %s/debug/pprof/)\n",
-			i, url, url, url, url)
+		fmt.Printf("proxy %d: %s  (introspection: %s/debug/vars, %s/debug/tables, %s/metrics, %s/debug/pprof/)\n",
+			i, url, url, url, url, url)
 	}
 	fmt.Println("\nfetch objects with:")
 	url, _ := farm.ProxyURL(0)
 	fmt.Printf("  curl -H 'X-Adc-Request-Id: r1' %s/obj/42\n", url)
+	fmt.Printf("\nwatch the farm live with:\n  go run ./cmd/adctop")
+	for i := 0; i < *proxies; i++ {
+		u, _ := farm.ProxyURL(i)
+		fmt.Printf(" %s", u)
+	}
+	fmt.Println()
 	fmt.Println("\nserving; Ctrl-C to stop")
 
 	stop := make(chan os.Signal, 1)

@@ -19,6 +19,7 @@
 //	adcload -proxies 8 -rate 5000 -duration 10s               # paper-shaped stream
 //	adcload -profile zipf -alpha 0.8 -population 4096 ...     # plain Zipf
 //	adcload -rate 50000 -max-active 256 -max-queue 512        # force shedding
+//	adcload -trace-dump run.spans.json -lint-metrics          # telemetry smoke
 //	adcload -json > run.json                                  # machine-readable
 //	adcload -bench | benchjson > BENCH_load.json              # bench-line form
 package main
@@ -40,6 +41,8 @@ import (
 	"github.com/adc-sim/adc/internal/httpproxy"
 	"github.com/adc-sim/adc/internal/ids"
 	"github.com/adc-sim/adc/internal/metrics"
+	"github.com/adc-sim/adc/internal/obs"
+	"github.com/adc-sim/adc/internal/promtext"
 	"github.com/adc-sim/adc/internal/proxy"
 	"github.com/adc-sim/adc/internal/stats"
 	"github.com/adc-sim/adc/internal/workload"
@@ -89,6 +92,11 @@ type config struct {
 	AvailWindow   time.Duration // availability window (chaos/health runs)
 
 	RetryAfterMax time.Duration // cap on honored Retry-After backoff (0 = don't back off)
+
+	TraceSample int    // span tracing: trace 1-in-N entry requests (0 = off)
+	TraceRing   int    // per-proxy span ring capacity (0 = default)
+	TraceDump   string // write every proxy's span dump as JSON here after the run
+	LintMetrics bool   // scrape and lint every proxy's /metrics after the run
 
 	JSONOut  bool
 	BenchOut bool
@@ -143,7 +151,32 @@ type report struct {
 	// speaks plain HTTP and reports nothing here.
 	Network *httpproxy.NetworkVars `json:"network,omitempty"`
 
+	// Trace is present when -trace-sample (or -trace-dump) enabled span
+	// tracing: the cross-proxy tree census over the run's sampled requests.
+	Trace *traceReport `json:"trace,omitempty"`
+
+	// MetricsLinted is the number of proxies whose /metrics exposition the
+	// -lint-metrics pass scraped and verified (0 when the pass was off).
+	MetricsLinted int `json:"metrics_linted,omitempty"`
+
 	hist *stats.Histogram
+}
+
+// traceReport summarises the run's distributed traces: every proxy's span
+// ring scraped over HTTP (the same surface adctrace farm uses), merged and
+// reconstructed into per-request trees.
+type traceReport struct {
+	Proxies int `json:"proxies"`
+	// Skipped counts proxies whose scrape failed (e.g. killed by -chaos and
+	// never restarted); their spans are missing, which can orphan trees.
+	Skipped          int     `json:"skipped,omitempty"`
+	Spans            int     `json:"spans"`
+	Dropped          uint64  `json:"dropped"`
+	Trees            int     `json:"trees"`
+	Complete         int     `json:"complete"`
+	Truncated        int     `json:"truncated"`
+	Orphaned         int     `json:"orphaned"`
+	CompleteFraction float64 `json:"complete_fraction"`
 }
 
 // HitRate is hits over completed non-shed requests.
@@ -237,6 +270,20 @@ func run(cfg config) (*report, error) {
 		}
 	}
 
+	// Writing a span dump only makes sense with tracing on; asking for the
+	// dump without choosing a sample rate means "trace everything".
+	if cfg.TraceDump != "" && cfg.TraceSample <= 0 {
+		cfg.TraceSample = 1
+	}
+	var tracing httpproxy.Tracing
+	if cfg.TraceSample > 0 {
+		tracing = httpproxy.Tracing{
+			Enabled:     true,
+			SampleEvery: cfg.TraceSample,
+			RingSize:    cfg.TraceRing,
+		}
+	}
+
 	f, err := httpproxy.NewFarm(httpproxy.FarmConfig{
 		Proxies: cfg.Proxies,
 		Tables: core.Config{
@@ -256,6 +303,7 @@ func run(cfg config) (*report, error) {
 			Window:       int64(cfg.RepWindow),
 		},
 		FaultTolerance: ft,
+		Tracing:        tracing,
 	})
 	if err != nil {
 		return nil, err
@@ -422,7 +470,77 @@ func run(cfg config) (*report, error) {
 		rep.Chaos = buildChaosReport(cfg.Chaos, f, applied, start, avail)
 	}
 	rep.Network = f.NetworkVars()
+
+	// Telemetry epilogue, while the farm is still up: scrape the span rings
+	// and lint every proxy's /metrics over the same HTTP surface an external
+	// scraper would use.
+	if cfg.TraceSample > 0 {
+		// A handler's server span lands a hair after the client reads the
+		// body; let the last handlers (and hedge losers) finish writing.
+		time.Sleep(100 * time.Millisecond)
+		rep.Trace, err = scrapeTrace(client, f, cfg.TraceDump)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.LintMetrics {
+		for _, p := range f.Proxies {
+			if err := lintProxyMetrics(client, p.URL()); err != nil {
+				return nil, fmt.Errorf("adcload: %v: %w", p.ID(), err)
+			}
+		}
+		rep.MetricsLinted = len(f.Proxies)
+	}
 	return rep, nil
+}
+
+// scrapeTrace collects every proxy's span dump over HTTP, optionally writes
+// the raw dumps (the adctrace farm input format), and builds the tree
+// census. Unreachable proxies are skipped, not fatal: after a -chaos run a
+// victim may legitimately be down, and the census accounts for the hole.
+func scrapeTrace(client *http.Client, f *httpproxy.Farm, dumpPath string) (*traceReport, error) {
+	tr := &traceReport{Proxies: len(f.Proxies)}
+	dumps := make([]obs.SpanDump, 0, len(f.Proxies))
+	for _, p := range f.Proxies {
+		d, err := httpproxy.ScrapeTraceDump(client, p.URL())
+		if err != nil {
+			tr.Skipped++
+			continue
+		}
+		dumps = append(dumps, d)
+		tr.Dropped += d.Dropped
+	}
+	if dumpPath != "" {
+		b, err := json.MarshalIndent(dumps, "", " ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(dumpPath, append(b, '\n'), 0o644); err != nil {
+			return nil, fmt.Errorf("adcload: write trace dump: %w", err)
+		}
+	}
+	c := obs.CensusSpanTrees(obs.BuildSpanTrees(obs.MergeDumps(dumps)))
+	tr.Spans = c.Spans
+	tr.Trees = c.Trees
+	tr.Complete = c.Complete
+	tr.Truncated = c.Truncated
+	tr.Orphaned = c.Orphaned
+	tr.CompleteFraction = c.CompleteFraction()
+	return tr, nil
+}
+
+// lintProxyMetrics scrapes one proxy's /metrics and runs the strict
+// exposition lint — the in-run half of the telemetry-smoke CI job.
+func lintProxyMetrics(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read side
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	return promtext.Lint(resp.Body)
 }
 
 // shedRetryMax bounds how many 429s one request will sleep through before
@@ -484,6 +602,9 @@ func printText(w io.Writer, rep *report) {
 		rep.AchievedRate, rep.Completed, rep.Scheduled, rep.Duration.Round(time.Millisecond))
 	fmt.Fprintf(w, "hits      %10d  (%.1f%% of served)\n", rep.Hits, 100*rep.HitRate())
 	fmt.Fprintf(w, "shed      %10d\nerrors    %10d\n", rep.Shed, rep.Errors)
+	if rep.Farm.CoalescedMisses > 0 {
+		fmt.Fprintf(w, "coalesced %10d  (misses that shared an in-flight fetch)\n", rep.Farm.CoalescedMisses)
+	}
 	if rep.ShedRetries > 0 {
 		fmt.Fprintf(w, "backoffs  %10d  (honored Retry-After)\n", rep.ShedRetries)
 	}
@@ -493,6 +614,17 @@ func printText(w io.Writer, rep *report) {
 	}
 	fmt.Fprintf(w, "latency   p50 %v  p90 %v  p99 %v  p99.9 %v\n",
 		us(rep.P50us), us(rep.P90us), us(rep.P99us), us(rep.P999us))
+	if t := rep.Trace; t != nil {
+		fmt.Fprintf(w, "trace     %10d trees  (%d complete, %d truncated, %d orphaned; %.1f%% reconstructed)",
+			t.Trees, t.Complete, t.Truncated, t.Orphaned, 100*t.CompleteFraction)
+		if t.Skipped > 0 {
+			fmt.Fprintf(w, "  [%d/%d proxies unreachable]", t.Skipped, t.Proxies)
+		}
+		fmt.Fprintln(w)
+	}
+	if rep.MetricsLinted > 0 {
+		fmt.Fprintf(w, "metrics   %10d proxies scraped, exposition lint clean\n", rep.MetricsLinted)
+	}
 	replicated := rep.Farm.ReplicaPushes > 0 || rep.Farm.ReplicaHits > 0
 	if replicated {
 		fmt.Fprintln(w, "per proxy (requests / local hits / shed / coalesced / rep hits / pushes / drops):")
@@ -558,6 +690,10 @@ func main() {
 	flag.DurationVar(&cfg.Hedge, "hedge", 0, "hedged origin fetch after this delay (0 = off; with -health)")
 	flag.DurationVar(&cfg.AvailWindow, "avail-window", 0, "availability window for chaos/health runs (0 = default 500ms)")
 	flag.DurationVar(&cfg.RetryAfterMax, "retry-after-max", 0, "honor 429 Retry-After up to this backoff (0 = record the shed immediately)")
+	flag.IntVar(&cfg.TraceSample, "trace-sample", 0, "trace 1-in-N entry requests with cross-proxy spans (0 = off, 1 = all)")
+	flag.IntVar(&cfg.TraceRing, "trace-ring", 0, "per-proxy span ring capacity (0 = default; with -trace-sample)")
+	flag.StringVar(&cfg.TraceDump, "trace-dump", "", "write scraped span dumps as JSON to this file for adctrace farm (implies -trace-sample 1)")
+	flag.BoolVar(&cfg.LintMetrics, "lint-metrics", false, "scrape and lint every proxy's /metrics after the run")
 	flag.BoolVar(&cfg.JSONOut, "json", false, "emit the report as JSON on stdout")
 	flag.BoolVar(&cfg.BenchOut, "bench", false, "emit a go-bench-style line for benchjson")
 	flag.BoolVar(&cfg.Quiet, "quiet", false, "suppress the latency histogram")

@@ -1,0 +1,161 @@
+package main
+
+// The farm subcommand works on cross-proxy span dumps (obs.SpanDump), not
+// the virtual-time event traces the rest of adctrace reads. It merges every
+// proxy's span ring — from a file written by adcload -trace-dump, or by
+// scraping live /debug/trace endpoints — aligns clocks, reconstructs the
+// per-request trees and reports the census the telemetry-smoke CI gate
+// asserts on.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/adc-sim/adc/internal/httpproxy"
+	"github.com/adc-sim/adc/internal/obs"
+)
+
+// farmCensus is the -json schema of the farm subcommand.
+type farmCensus struct {
+	Proxies          int     `json:"proxies"`
+	Spans            int     `json:"spans"`
+	Dropped          uint64  `json:"dropped"`
+	Trees            int     `json:"trees"`
+	Complete         int     `json:"complete"`
+	Truncated        int     `json:"truncated"`
+	Orphaned         int     `json:"orphaned"`
+	CompleteFraction float64 `json:"complete_fraction"`
+}
+
+func farm(args []string) error {
+	fs := flag.NewFlagSet("adctrace farm", flag.ContinueOnError)
+	minComplete := fs.Float64("min-complete", 0,
+		"exit nonzero when the complete+truncated tree fraction falls below this")
+	worst := fs.Int("worst", 3, "show up to this many non-complete trees")
+	chromeOut := fs.String("chrome", "", "also write a Chrome trace_event export to this file")
+	jsonOut := fs.Bool("json", false, "emit the census as JSON on stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	targets := fs.Args()
+	if len(targets) == 0 {
+		return fmt.Errorf("usage: adctrace farm [-min-complete f] [-worst n] [-chrome out.json] [-json] <dumps.json | proxy-url...>")
+	}
+
+	dumps, err := loadDumps(targets)
+	if err != nil {
+		return err
+	}
+	spans := obs.MergeDumps(dumps)
+	trees := obs.BuildSpanTrees(spans)
+	c := obs.CensusSpanTrees(trees)
+	var dropped uint64
+	for _, d := range dumps {
+		dropped += d.Dropped
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(farmCensus{
+			Proxies: len(dumps), Spans: c.Spans, Dropped: dropped,
+			Trees: c.Trees, Complete: c.Complete, Truncated: c.Truncated,
+			Orphaned: c.Orphaned, CompleteFraction: c.CompleteFraction(),
+		}); err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("dumps     %d proxies, %d spans (%d dropped from rings)\n", len(dumps), c.Spans, dropped)
+		fmt.Printf("trees     %d: %d complete, %d truncated, %d orphaned\n",
+			c.Trees, c.Complete, c.Truncated, c.Orphaned)
+		fmt.Printf("complete  %.4f  (complete+truncated over trees)\n", c.CompleteFraction())
+		if *worst > 0 {
+			printWorstTrees(trees, *worst)
+		}
+	}
+	if *chromeOut != "" {
+		if err := writeChromeFile(*chromeOut, spans); err != nil {
+			return err
+		}
+	}
+	if *minComplete > 0 && c.CompleteFraction() < *minComplete {
+		return fmt.Errorf("adctrace farm: complete fraction %.4f below -min-complete %.4f (census %+v)",
+			c.CompleteFraction(), *minComplete, c)
+	}
+	return nil
+}
+
+// loadDumps reads span dumps from the targets: a list of http(s) proxy base
+// URLs to scrape live, or a single JSON file holding []obs.SpanDump (the
+// adcload -trace-dump format) or one bare obs.SpanDump.
+func loadDumps(targets []string) ([]obs.SpanDump, error) {
+	if strings.HasPrefix(targets[0], "http://") || strings.HasPrefix(targets[0], "https://") {
+		client := &http.Client{Timeout: 5 * time.Second}
+		dumps := make([]obs.SpanDump, 0, len(targets))
+		for _, t := range targets {
+			// Accept either the proxy base URL or its /debug/trace directly.
+			d, err := httpproxy.ScrapeTraceDump(client, strings.TrimSuffix(t, "/debug/trace"))
+			if err != nil {
+				return nil, err
+			}
+			dumps = append(dumps, d)
+		}
+		return dumps, nil
+	}
+	if len(targets) != 1 {
+		return nil, fmt.Errorf("adctrace farm: want one dump file or a list of proxy URLs, got %d files", len(targets))
+	}
+	b, err := os.ReadFile(targets[0])
+	if err != nil {
+		return nil, err
+	}
+	var dumps []obs.SpanDump
+	if err := json.Unmarshal(b, &dumps); err != nil {
+		var one obs.SpanDump
+		if err2 := json.Unmarshal(b, &one); err2 != nil {
+			return nil, fmt.Errorf("adctrace farm: %s: %w", targets[0], err)
+		}
+		dumps = []obs.SpanDump{one}
+	}
+	return dumps, nil
+}
+
+// printWorstTrees shows the worst reconstruction failures, orphaned before
+// truncated — the first thing to look at when the census is off.
+func printWorstTrees(trees []*obs.SpanTree, n int) {
+	var bad []*obs.SpanTree
+	for _, t := range trees {
+		if t.State() != obs.TreeComplete {
+			bad = append(bad, t)
+		}
+	}
+	if len(bad) == 0 {
+		return
+	}
+	sort.SliceStable(bad, func(i, j int) bool { return bad[i].State() > bad[j].State() })
+	if n > len(bad) {
+		n = len(bad)
+	}
+	fmt.Printf("\nworst %d of %d non-complete trees:\n", n, len(bad))
+	for _, t := range bad[:n] {
+		obs.FormatSpanTree(os.Stdout, t)
+	}
+}
+
+func writeChromeFile(path string, spans []obs.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeSpans(f, spans); err != nil {
+		f.Close() //nolint:errcheck // already on the error path
+		return err
+	}
+	return f.Close()
+}

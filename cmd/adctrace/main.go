@@ -8,6 +8,15 @@
 //	adctrace validate trace.jsonl            # structural well-formedness
 //	adctrace chrome trace.jsonl > t.json     # Chrome trace_event export
 //
+// The farm subcommand instead reads cross-proxy span dumps (the HTTP
+// farm's distributed traces), merges them with clock-skew alignment and
+// reports the request-tree census:
+//
+//	adctrace farm run.spans.json             # file from adcload -trace-dump
+//	adctrace farm http://host:7001 ...       # scrape live /debug/trace rings
+//	adctrace farm -min-complete 0.99 ...     # CI gate: fail on orphaned trees
+//	adctrace farm -chrome t.json ...         # flame chart per request
+//
 // Request IDs are accepted as client:counter (the req(c:n) display form)
 // or as a raw 64-bit value; objects as www.xyN or a raw value.
 package main
@@ -32,10 +41,14 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: adctrace <summary|request|converge|validate|chrome> [arguments] <trace.jsonl>")
+	return fmt.Errorf("usage: adctrace <summary|request|converge|validate|chrome> [arguments] <trace.jsonl>\n" +
+		"       adctrace farm [flags] <dumps.json | proxy-url...>")
 }
 
 func run(args []string) error {
+	if len(args) >= 1 && args[0] == "farm" {
+		return farm(args[1:])
+	}
 	if len(args) < 2 {
 		return usage()
 	}

@@ -55,6 +55,12 @@ type HTTPFarmConfig struct {
 	// HedgeDelay, when positive, starts a parallel direct-origin fetch
 	// for entry chains still unresolved after this long (0 = off).
 	HedgeDelay time.Duration
+	// TraceSample, when positive, enables cross-proxy distributed tracing
+	// on every proxy, sampling 1-in-TraceSample entry requests (1 = all).
+	// Spans are served at each proxy's /debug/trace for adctrace farm.
+	TraceSample int
+	// TraceRing caps each proxy's in-memory span ring (0 = default).
+	TraceRing int
 }
 
 // NewHTTPFarm starts the origin server and all proxies. Close the farm
@@ -95,6 +101,11 @@ func NewHTTPFarm(cfg HTTPFarmConfig) (*HTTPFarm, error) {
 			},
 			MaxRetries: cfg.MaxRetries,
 			HedgeDelay: cfg.HedgeDelay,
+		},
+		Tracing: httpproxy.Tracing{
+			Enabled:     cfg.TraceSample > 0,
+			SampleEvery: cfg.TraceSample,
+			RingSize:    cfg.TraceRing,
 		},
 	})
 	if err != nil {

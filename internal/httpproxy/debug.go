@@ -88,6 +88,8 @@ func (p *Proxy) SetNetworkVars(fn func() NetworkVars) {
 func registerDebug(mux *http.ServeMux, p *Proxy) {
 	mux.HandleFunc("/debug/vars", p.handleVars)
 	mux.HandleFunc("/debug/tables", p.handleTables)
+	mux.HandleFunc(metricsPath, p.handleMetrics)
+	mux.HandleFunc(tracePath, p.handleTrace)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -70,6 +70,9 @@ type FarmConfig struct {
 	// FaultTolerance configures health probing, failover routing, circuit
 	// breakers and hedging on every proxy (zero value = all off).
 	FaultTolerance FaultTolerance
+	// Tracing configures cross-proxy span tracing on every proxy
+	// (zero value = off).
+	Tracing Tracing
 }
 
 // NewFarm starts the origin and all proxies and wires the peer address
@@ -95,6 +98,7 @@ func NewFarm(cfg FarmConfig) (*Farm, error) {
 			NoCoalesce:     cfg.NoCoalesce,
 			Replication:    cfg.Replication,
 			FaultTolerance: cfg.FaultTolerance,
+			Tracing:        cfg.Tracing,
 		})
 		if err != nil {
 			f.Close() //nolint:errcheck // already on the error path
@@ -171,6 +175,17 @@ func (f *Farm) HealthTransitions() []HealthTransition {
 	}
 	sort.Slice(all, func(i, j int) bool { return all[i].At.Before(all[j].At) })
 	return all
+}
+
+// TraceDumps snapshots every proxy's span ring in-process — the
+// local-farm counterpart of scraping each proxy's /debug/trace. All
+// proxies share this process's clock, so no ScrapedUs alignment is set.
+func (f *Farm) TraceDumps() []obs.SpanDump {
+	out := make([]obs.SpanDump, 0, len(f.Proxies))
+	for _, p := range f.Proxies {
+		out = append(out, p.TraceDump())
+	}
+	return out
 }
 
 // TotalStats aggregates every proxy's counters.

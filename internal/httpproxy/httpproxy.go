@@ -47,6 +47,10 @@ const (
 	HeaderResolver  = "X-Adc-Resolver"
 	HeaderCached    = "X-Adc-Cached"
 	HeaderOrigin    = "X-Adc-Origin"
+	// HeaderTrace/HeaderSpan carry the distributed-tracing context (hex
+	// trace ID and parent span ID) between proxy hops; see span.go.
+	HeaderTrace = "X-Adc-Trace"
+	HeaderSpan  = "X-Adc-Span"
 )
 
 // objPathPrefix is the URL prefix objects are served under.
@@ -174,6 +178,18 @@ type Proxy struct {
 	health   atomic.Pointer[healthMonitor]
 	breakers *breakerGroup
 
+	// Telemetry. stages is always on (recording a latency is one mutex +
+	// one bucket increment; /metrics pays the snapshot cost, not the hot
+	// path). spans is nil with tracing off; spanSeq/traceSeq allocate span
+	// and trace IDs off-lock — sampling deliberately does NOT use p.rng,
+	// whose draw sequence is part of seeded-run determinism.
+	tracing  Tracing
+	spans    *obs.SpanRing
+	spanSeq  atomic.Uint64
+	traceSeq atomic.Uint64
+	stages   *metrics.StageSet
+	started  time.Time
+
 	// shed/coalesced are updated off-lock: shedding happens precisely
 	// when mu is contended, and a follower's ride-along should not
 	// serialize on the table lock just to count itself. The fault
@@ -291,6 +307,8 @@ type Config struct {
 	// FaultTolerance configures health probing, failover routing,
 	// circuit breakers and hedging (zero value = all off).
 	FaultTolerance FaultTolerance
+	// Tracing configures cross-proxy span tracing (zero value = off).
+	Tracing Tracing
 	// Client overrides the shared pooled HTTP client (tests).
 	Client *http.Client
 }
@@ -326,11 +344,17 @@ func NewProxy(cfg Config) (*Proxy, error) {
 		gate:     newGate(cfg.MaxActive, cfg.MaxQueue),
 		coalesce: !cfg.NoCoalesce,
 		ft:       ft,
+		tracing:  cfg.Tracing.withDefaults(),
+		stages:   metrics.NewStageSet(),
+		started:  time.Now(),
 		tables:   tables,
 		store:    make(map[ids.ObjectID][]byte),
 		pending:  make(map[string]int),
 		rng:      rand.New(rand.NewSource(cfg.Seed ^ (int64(cfg.ID)+1)*0x1F3B)),
 		peerURL:  make(map[ids.NodeID]string),
+	}
+	if p.tracing.Enabled {
+		p.spans = obs.NewSpanRing(p.tracing.RingSize)
 	}
 	if repCfg.Enabled {
 		p.replica = newReplicator(repCfg)
@@ -340,19 +364,12 @@ func NewProxy(cfg Config) (*Proxy, error) {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc(objPathPrefix, p.handle)
-	mux.HandleFunc(healthzPath, handleHealthz)
+	mux.HandleFunc(healthzPath, p.handleHealthz)
 	registerDebug(mux, p)
 	p.mux = mux
 	p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	go p.srv.Serve(ln) //nolint:errcheck // returns ErrServerClosed on shutdown
 	return p, nil
-}
-
-// handleHealthz is the liveness probe target: it answers before any lock,
-// so it reports "process accepting connections", nothing more.
-func handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok"))
 }
 
 // Handler exposes the proxy's full mux (object path plus debug endpoints)
@@ -557,7 +574,9 @@ func (p *Proxy) HealthTransitions() []HealthTransition {
 	return nil
 }
 
-// handle is Receive_Request (Fig. 5) over HTTP.
+// handle is Receive_Request (Fig. 5) over HTTP: it parses the request,
+// opens the per-proxy telemetry envelope (server span + server-stage
+// latency), and delegates the protocol work to serve.
 func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	obj, err := parseObjectPath(r.URL.Path)
 	if err != nil {
@@ -571,17 +590,33 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	forwards, _ := strconv.Atoi(r.Header.Get(HeaderForwards))
 
+	sc := p.spanContext(r.Header, forwards)
+	start := nowUs()
+	errMsg := p.serve(w, r, obj, reqID, forwards, sc)
+	p.stages.Observe(metrics.StageServer, nowUs()-start)
+	sc.finishServer(start, obj, errMsg)
+}
+
+// serve runs one request through admission, the hit path, and the miss
+// path. The returned string is the server span's error annotation: "" for
+// a served reply, a short description otherwise.
+func (p *Proxy) serve(w http.ResponseWriter, r *http.Request, obj ids.ObjectID, reqID string, forwards int, sc *spanCtx) string {
 	// Admission control at the edge: entry requests beyond the bounded
 	// queue are shed with 429. Forwarded hops bypass the gate — they
 	// already hold a slot at their entry proxy, and gating them
 	// mid-chain could deadlock a chain revisiting a saturated proxy.
 	if forwards == 0 {
-		if !p.gate.enter() {
+		gateStart := nowUs()
+		admitted := p.gate.enter()
+		p.stages.Observe(metrics.StageGateWait, nowUs()-gateStart)
+		if !admitted {
+			sc.record(obs.SpanGateWait, gateStart, obj, "", "shed")
 			p.shed.Add(1)
 			w.Header().Set("Retry-After", "1")
 			http.Error(w, "proxy overloaded", http.StatusTooManyRequests)
-			return
+			return "shed"
 		}
+		sc.record(obs.SpanGateWait, gateStart, obj, "", "")
 		defer p.gate.leave()
 	}
 
@@ -617,7 +652,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set(HeaderCached, "1")
 		adv.set(w.Header())
 		_, _ = w.Write(payload)
-		return
+		return ""
 	}
 	looped := p.pending[reqID] > 0
 	atMax := p.maxHops > 0 && forwards >= p.maxHops
@@ -634,26 +669,33 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	var res flightResult
 	switch {
 	case p.coalesce && entryChain:
+		flightStart := nowUs()
 		var shared bool
 		res, shared = p.flights.do(obj, func() flightResult {
-			return p.resolveEntry(obj, reqID)
+			// The flight leader's closure runs under the LEADER's span
+			// context: followers see a flight_wait span, the leader's tree
+			// carries the actual fetch spans — the shape real distributed
+			// tracers give coalesced work.
+			return p.resolveEntry(obj, reqID, sc)
 		})
 		if shared {
 			p.coalesced.Add(1)
+			p.stages.Observe(metrics.StageFlightWait, nowUs()-flightStart)
+			sc.record(obs.SpanFlightWait, flightStart, obj, "", "")
 		}
 	case entryChain:
-		res = p.resolveEntry(obj, reqID)
+		res = p.resolveEntry(obj, reqID, sc)
 	default:
-		res = p.resolveMiss(obj, reqID, forwards, looped, atMax)
+		res = p.resolveMiss(obj, reqID, forwards, looped, atMax, sc)
 	}
 
 	if res.err != nil || res.status != http.StatusOK {
 		if res.err != nil {
 			http.Error(w, res.err.Error(), http.StatusBadGateway)
-			return
+			return "upstream: " + res.err.Error()
 		}
 		http.Error(w, "upstream status", res.status)
-		return
+		return "upstream status " + strconv.Itoa(res.status)
 	}
 
 	// Receive_Reply (Fig. 7): claim the resolver slot for origin data,
@@ -708,6 +750,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 	}
 	propagateReplication(w.Header(), res.hdr)
 	_, _ = w.Write(res.body)
+	return ""
 }
 
 // resolveMiss is the forwarding half of a miss: it registers the pending
@@ -715,7 +758,7 @@ func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
 // performs the fetch outside the lock (the chain may revisit us), and
 // retires the pending pass. looped/atMax carry the entry decision so the
 // stats and routing reason match what the caller observed.
-func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped, atMax bool) flightResult {
+func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped, atMax bool, sc *spanCtx) flightResult {
 	p.mu.Lock()
 	p.pending[reqID]++
 	var upstream string
@@ -745,7 +788,7 @@ func (p *Proxy) resolveMiss(obj ids.ObjectID, reqID string, forwards int, looped
 	p.mu.Unlock()
 
 	var res flightResult
-	res.body, res.hdr, res.status, res.err = p.fetch(upstream, upNode, obj, reqID, forwards+1)
+	res.body, res.hdr, res.status, res.err = p.fetch(upstream, upNode, obj, reqID, forwards+1, sc)
 
 	p.mu.Lock()
 	// Retire the stored backwarding pass.
@@ -832,8 +875,8 @@ func resolved(res flightResult) bool {
 // a final direct-origin fallback. Only entry proxies run it, for the same
 // reason only they coalesce: exactly one proxy owns failover per request,
 // so retries cannot stack hop by hop and the fallback cannot loop.
-func (p *Proxy) resolveEntry(obj ids.ObjectID, reqID string) flightResult {
-	res := p.resolveMissHedged(obj, reqID)
+func (p *Proxy) resolveEntry(obj ids.ObjectID, reqID string, sc *spanCtx) flightResult {
+	res := p.resolveMissHedged(obj, reqID, sc)
 	if resolved(res) || !p.ft.Health.Enabled {
 		return res
 	}
@@ -842,7 +885,7 @@ func (p *Proxy) resolveEntry(obj ids.ObjectID, reqID string) flightResult {
 		p.retried.Add(1)
 		time.Sleep(backoff)
 		backoff *= 2
-		res = p.resolveMiss(obj, reqID, 0, false, false)
+		res = p.resolveMiss(obj, reqID, 0, false, false, sc.tagged("retry="+strconv.Itoa(attempt+1)))
 		if resolved(res) {
 			return res
 		}
@@ -852,7 +895,7 @@ func (p *Proxy) resolveEntry(obj ids.ObjectID, reqID string) flightResult {
 	// client whole in the meantime.
 	p.failover.Add(1)
 	var alt flightResult
-	alt.body, alt.hdr, alt.status, alt.err = p.fetch(p.origin, ids.Origin, obj, reqID, 1)
+	alt.body, alt.hdr, alt.status, alt.err = p.fetch(p.origin, ids.Origin, obj, reqID, 1, sc.tagged("failover"))
 	if resolved(alt) {
 		return alt
 	}
@@ -864,12 +907,12 @@ func (p *Proxy) resolveEntry(obj ids.ObjectID, reqID string) flightResult {
 // fetch starts and the first usable answer wins. Both channels are
 // buffered so the losing branch always completes into the buffer and its
 // goroutine exits — no leaks, no waiting on the loser.
-func (p *Proxy) resolveMissHedged(obj ids.ObjectID, reqID string) flightResult {
+func (p *Proxy) resolveMissHedged(obj ids.ObjectID, reqID string, sc *spanCtx) flightResult {
 	if p.ft.HedgeDelay <= 0 {
-		return p.resolveMiss(obj, reqID, 0, false, false)
+		return p.resolveMiss(obj, reqID, 0, false, false, sc)
 	}
 	primary := make(chan flightResult, 1)
-	go func() { primary <- p.resolveMiss(obj, reqID, 0, false, false) }()
+	go func() { primary <- p.resolveMiss(obj, reqID, 0, false, false, sc) }()
 	timer := time.NewTimer(p.ft.HedgeDelay)
 	defer timer.Stop()
 	select {
@@ -881,7 +924,7 @@ func (p *Proxy) resolveMissHedged(obj ids.ObjectID, reqID string) flightResult {
 	hedge := make(chan flightResult, 1)
 	go func() {
 		var res flightResult
-		res.body, res.hdr, res.status, res.err = p.fetch(p.origin, ids.Origin, obj, reqID, 1)
+		res.body, res.hdr, res.status, res.err = p.fetch(p.origin, ids.Origin, obj, reqID, 1, sc.tagged("hedge"))
 		hedge <- res
 	}()
 	select {
@@ -909,15 +952,22 @@ func (p *Proxy) resolveMissHedged(obj ids.ObjectID, reqID string) flightResult {
 // and the connection result feeds dest's health machine and circuit. Only
 // transport errors count against a peer — a live proxy answering 5xx is a
 // content problem, not a dead process.
-func (p *Proxy) fetch(base string, dest ids.NodeID, obj ids.ObjectID, reqID string, forwards int) ([]byte, http.Header, int, error) {
+func (p *Proxy) fetch(base string, dest ids.NodeID, obj ids.ObjectID, reqID string, forwards int, sc *spanCtx) ([]byte, http.Header, int, error) {
+	start := nowUs()
+	stage, spanStage := metrics.StageForward, obs.SpanForward
+	if !dest.IsProxy() {
+		stage, spanStage = metrics.StageOrigin, obs.SpanOrigin
+	}
 	if dest.IsProxy() && p.isBlocked(dest) {
 		if m := p.health.Load(); m != nil {
 			m.reportFailure(dest)
 		}
+		sc.record(spanStage, start, obj, dest.String(), "partitioned")
 		return nil, nil, 0, fmt.Errorf("httpproxy: %v unreachable from %v (partitioned)", dest, p.id)
 	}
 	if dest.IsProxy() && !p.breakers.allow(dest) {
 		p.denied.Add(1)
+		sc.record(obs.SpanBreakerDenied, start, obj, dest.String(), errBreakerOpen.Error())
 		return nil, nil, 0, fmt.Errorf("httpproxy: fetch %v: %w", dest, errBreakerOpen)
 	}
 	req, err := http.NewRequest(http.MethodGet, ObjectURL(base, obj), nil)
@@ -926,6 +976,11 @@ func (p *Proxy) fetch(base string, dest ids.NodeID, obj ids.ObjectID, reqID stri
 	}
 	req.Header.Set(HeaderRequestID, reqID)
 	req.Header.Set(HeaderForwards, strconv.Itoa(forwards))
+	// The span is allocated before the request so its ID can travel in
+	// X-Adc-Span: the receiving proxy's server span parents onto it, which
+	// is the link adctrace's cross-proxy tree reconstruction rides on.
+	spanID := sc.child()
+	sc.setHeaders(req.Header, spanID)
 	if p.replica != nil {
 		// Identify this proxy as the forwarding hop so a holder upstream
 		// knows which recent requester a replica push should target.
@@ -943,13 +998,21 @@ func (p *Proxy) fetch(base string, dest ids.NodeID, obj ids.ObjectID, reqID stri
 		}
 	}
 	if err != nil {
+		sc.recordID(spanID, spanStage, start, obj, dest.String(), err.Error())
 		return nil, nil, 0, fmt.Errorf("httpproxy: upstream fetch: %w", err)
 	}
 	defer resp.Body.Close() //nolint:errcheck // read side
 	body, err := io.ReadAll(resp.Body)
 	if err != nil {
+		sc.recordID(spanID, spanStage, start, obj, dest.String(), err.Error())
 		return nil, nil, 0, fmt.Errorf("httpproxy: read upstream body: %w", err)
 	}
+	p.stages.Observe(stage, nowUs()-start)
+	spanErr := ""
+	if resp.StatusCode != http.StatusOK {
+		spanErr = "status " + strconv.Itoa(resp.StatusCode)
+	}
+	sc.recordID(spanID, spanStage, start, obj, dest.String(), spanErr)
 	return body, resp.Header, resp.StatusCode, nil
 }
 

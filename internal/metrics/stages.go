@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"sync"
+
+	"github.com/adc-sim/adc/internal/stats"
+)
+
+// Stage names one phase of serving a request on the HTTP farm. The
+// per-stage latency histograms behind every proxy's /metrics endpoint key
+// on it, and cmd/adctop's p50/p99 columns are one Stage each.
+type Stage uint8
+
+const (
+	// StageServer is the whole in-proxy handling of one incoming request,
+	// entry or forwarded hop — the end-to-end server-side latency.
+	StageServer Stage = iota
+	// StageGateWait is time an entry request spent queued at the
+	// admission gate before being served.
+	StageGateWait
+	// StageFlightWait is time a coalesced entry miss spent riding along
+	// on another request's in-flight upstream fetch.
+	StageFlightWait
+	// StageForward is one upstream fetch to a peer proxy.
+	StageForward
+	// StageOrigin is one fetch to the origin server (direct misses,
+	// failover fallbacks and hedges included).
+	StageOrigin
+
+	NumStages
+)
+
+// stageNames are the stable label values in /metrics output.
+var stageNames = [NumStages]string{
+	StageServer:     "server",
+	StageGateWait:   "gate_wait",
+	StageFlightWait: "flight_wait",
+	StageForward:    "forward",
+	StageOrigin:     "origin",
+}
+
+// String returns the stage's /metrics label value.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Stage latency histogram shape: 50 µs buckets over 0–200 ms plus
+// overflow, matching cmd/adcload's client-side histogram so server- and
+// client-observed quantiles are directly comparable.
+const (
+	StageHistWidthUs = 50
+	StageHistBuckets = 4000
+)
+
+// StageSet records per-stage latency histograms for one proxy. Observe is
+// mutex-guarded and cheap (one lock, one bucket increment); handlers call
+// it outside the proxy's table lock so metrics recording never serializes
+// the fetch path.
+type StageSet struct {
+	mu    sync.Mutex
+	hists [NumStages]*stats.Histogram
+}
+
+// NewStageSet builds a set with one histogram per stage.
+func NewStageSet() *StageSet {
+	s := &StageSet{}
+	for i := range s.hists {
+		s.hists[i] = stats.NewHistogram(StageHistBuckets, StageHistWidthUs)
+	}
+	return s
+}
+
+// Observe records one latency (in microseconds) for a stage. Safe on a
+// nil set, which records nothing.
+func (s *StageSet) Observe(stage Stage, us int64) {
+	if s == nil || stage >= NumStages {
+		return
+	}
+	s.mu.Lock()
+	s.hists[stage].Add(int(us))
+	s.mu.Unlock()
+}
+
+// Snapshot returns an independent copy of every stage's histogram,
+// index-aligned with the Stage constants.
+func (s *StageSet) Snapshot() [NumStages]*stats.Histogram {
+	var out [NumStages]*stats.Histogram
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, h := range s.hists {
+		c := stats.NewHistogram(StageHistBuckets, StageHistWidthUs)
+		c.Merge(h)
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MergeDumps aligns and merges per-proxy span dumps into one span list.
+// Each proxy stamps spans with its own clock; a dump whose ScrapedUs is set
+// is shifted by (ScrapedUs - NowUs), putting every span on the scraper's
+// clock to within one scrape round-trip. Dumps without ScrapedUs pass
+// through unshifted. The result is sorted by (aligned) start time.
+func MergeDumps(dumps []SpanDump) []Span {
+	var out []Span
+	for _, d := range dumps {
+		var offset int64
+		if d.ScrapedUs != 0 {
+			offset = d.ScrapedUs - d.NowUs
+		}
+		for _, s := range d.Spans {
+			s.Start += offset
+			s.End += offset
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// SpanNode is one span with its children, sorted by start time.
+type SpanNode struct {
+	Span
+	Children []*SpanNode
+}
+
+// TreeState classifies a reconstructed span tree.
+type TreeState uint8
+
+const (
+	// TreeComplete: the root is present, every parent link resolves, and
+	// no span recorded an error.
+	TreeComplete TreeState = iota
+	// TreeTruncated: structurally sound (root present, links resolve) but
+	// at least one span carries an error — the request explicitly saw a
+	// failure, e.g. a fetch into a kill window. Truncated trees are the
+	// expected shape under chaos; orphaned trees are reconstruction bugs.
+	TreeTruncated
+	// TreeOrphaned: the root is missing or some span's parent is unknown
+	// (ring eviction, an unscraped proxy, or a propagation bug).
+	TreeOrphaned
+)
+
+// String implements fmt.Stringer.
+func (s TreeState) String() string {
+	switch s {
+	case TreeComplete:
+		return "complete"
+	case TreeTruncated:
+		return "truncated"
+	case TreeOrphaned:
+		return "orphaned"
+	}
+	return fmt.Sprintf("state(%d)", uint8(s))
+}
+
+// SpanTree is one logical request reconstructed from merged spans.
+type SpanTree struct {
+	Trace uint64
+	// Root is the entry proxy's server span, nil when it never surfaced.
+	Root *SpanNode
+	// Orphans are spans whose parent is missing from the trace (the root,
+	// with Parent 0, is never an orphan).
+	Orphans []*SpanNode
+	// Spans counts every span attributed to the trace.
+	Spans int
+	// Errs counts spans that recorded an error.
+	Errs int
+}
+
+// State classifies the tree (see TreeState).
+func (t *SpanTree) State() TreeState {
+	switch {
+	case t.Root == nil || len(t.Orphans) > 0:
+		return TreeOrphaned
+	case t.Errs > 0:
+		return TreeTruncated
+	}
+	return TreeComplete
+}
+
+// Start returns the tree's earliest span start (for ordering).
+func (t *SpanTree) Start() int64 {
+	if t.Root != nil {
+		return t.Root.Start
+	}
+	var min int64
+	for i, o := range t.Orphans {
+		if i == 0 || o.Start < min {
+			min = o.Start
+		}
+	}
+	return min
+}
+
+// BuildSpanTrees groups spans by trace ID and links children to parents,
+// returning trees ordered by start time. A span whose parent ID never
+// surfaced is collected under Orphans; a trace with several Parent==0 spans
+// keeps the earliest as root and treats the rest as orphans (two proxies
+// both claiming to be the entry point is a propagation bug worth seeing).
+func BuildSpanTrees(spans []Span) []*SpanTree {
+	byTrace := make(map[uint64][]*SpanNode)
+	var order []uint64
+	for _, s := range spans {
+		if _, ok := byTrace[s.Trace]; !ok {
+			order = append(order, s.Trace)
+		}
+		byTrace[s.Trace] = append(byTrace[s.Trace], &SpanNode{Span: s})
+	}
+
+	trees := make([]*SpanTree, 0, len(order))
+	for _, trace := range order {
+		nodes := byTrace[trace]
+		sort.SliceStable(nodes, func(i, j int) bool { return nodes[i].Start < nodes[j].Start })
+		t := &SpanTree{Trace: trace, Spans: len(nodes)}
+		byID := make(map[uint64]*SpanNode, len(nodes))
+		for _, n := range nodes {
+			// Duplicate IDs (a re-scraped ring) keep the first occurrence.
+			if _, dup := byID[n.ID]; !dup {
+				byID[n.ID] = n
+			}
+		}
+		for _, n := range nodes {
+			if n.Err != "" {
+				t.Errs++
+			}
+			if n.Parent == 0 {
+				if t.Root == nil {
+					t.Root = n
+				} else {
+					t.Orphans = append(t.Orphans, n)
+				}
+				continue
+			}
+			if p := byID[n.Parent]; p != nil && p != n {
+				p.Children = append(p.Children, n)
+			} else {
+				t.Orphans = append(t.Orphans, n)
+			}
+		}
+		trees = append(trees, t)
+	}
+	sort.SliceStable(trees, func(i, j int) bool { return trees[i].Start() < trees[j].Start() })
+	return trees
+}
+
+// SpanCensus summarises a batch of reconstructed trees.
+type SpanCensus struct {
+	Trees, Complete, Truncated, Orphaned int
+	Spans                                int
+}
+
+// CensusSpanTrees tallies tree states across trees.
+func CensusSpanTrees(trees []*SpanTree) SpanCensus {
+	var c SpanCensus
+	c.Trees = len(trees)
+	for _, t := range trees {
+		c.Spans += t.Spans
+		switch t.State() {
+		case TreeComplete:
+			c.Complete++
+		case TreeTruncated:
+			c.Truncated++
+		default:
+			c.Orphaned++
+		}
+	}
+	return c
+}
+
+// CompleteFraction is the share of trees that are complete OR truncated —
+// i.e. fully reconstructed, counting explicitly-failed requests as
+// accounted for. The telemetry-smoke CI gate asserts this ≥ 0.99.
+func (c SpanCensus) CompleteFraction() float64 {
+	if c.Trees == 0 {
+		return 1
+	}
+	return float64(c.Complete+c.Truncated) / float64(c.Trees)
+}
+
+// FormatSpanTree renders one tree as an indented listing.
+func FormatSpanTree(w io.Writer, t *SpanTree) {
+	fmt.Fprintf(w, "trace %016x  %d spans  %s\n", t.Trace, t.Spans, t.State())
+	if t.Root != nil {
+		formatSpanNode(w, t.Root, t.Root.Start, 1)
+	}
+	for _, o := range t.Orphans {
+		fmt.Fprintf(w, "  [orphan parent=%x]\n", o.Parent)
+		formatSpanNode(w, o, o.Start, 2)
+	}
+}
+
+func formatSpanNode(w io.Writer, n *SpanNode, base int64, depth int) {
+	for i := 0; i < depth; i++ {
+		io.WriteString(w, "  ")
+	}
+	fmt.Fprintf(w, "+%-8d %-14s Proxy[%d]  %dus", n.Start-base, n.Stage, n.Node, max64(n.End-n.Start, 0))
+	if n.Detail != "" {
+		fmt.Fprintf(w, "  %s", n.Detail)
+	}
+	if n.Err != "" {
+		fmt.Fprintf(w, "  ERR %s", n.Err)
+	}
+	io.WriteString(w, "\n")
+	for _, c := range n.Children {
+		formatSpanNode(w, c, base, depth+1)
+	}
+}
+
+// WriteChromeSpans exports merged spans in Chrome trace_event format: one
+// duration event per span, grouped so each trace is a process and each
+// proxy a row within it — a cross-proxy request renders as one aligned
+// flame chart per request.
+func WriteChromeSpans(w io.Writer, spans []Span) error {
+	f := chromeFile{DisplayTimeUnit: "ms"}
+	var base int64
+	for i, s := range spans {
+		if i == 0 || s.Start < base {
+			base = s.Start
+		}
+	}
+	named := map[int]bool{}
+	for _, s := range spans {
+		pid := int(s.Trace % (1 << 31))
+		args := map[string]any{"trace": fmt.Sprintf("%016x", s.Trace), "span": s.ID}
+		if s.Obj != 0 {
+			args["obj"] = s.Obj
+		}
+		if s.Detail != "" {
+			args["detail"] = s.Detail
+		}
+		if s.Err != "" {
+			args["err"] = s.Err
+		}
+		f.TraceEvents = append(f.TraceEvents, chromeEvent{
+			Name: s.Stage, Ph: "X", Ts: s.Start - base, Dur: max64(s.End-s.Start, 1),
+			Pid: pid, Tid: 100 + int(s.Node), Args: args,
+		})
+		if !named[pid] {
+			named[pid] = true
+			f.TraceEvents = append(f.TraceEvents, chromeEvent{
+				Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+				Args: map[string]any{"name": fmt.Sprintf("trace %016x", s.Trace)},
+			})
+		}
+	}
+	return json.NewEncoder(w).Encode(f)
+}

@@ -1,0 +1,407 @@
+package promtext
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed series sample.
+type Sample struct {
+	// Name is the full sample name (histogram samples keep their
+	// _bucket/_sum/_count suffix).
+	Name string
+	// Labels holds the decoded label pairs (le included for buckets).
+	Labels map[string]string
+	// Value is the sample value.
+	Value float64
+}
+
+// Label returns one label's value ("" when absent).
+func (s Sample) Label(name string) string { return s.Labels[name] }
+
+// Family is one metric family: the TYPE/HELP header plus every sample
+// attributed to it. Histogram children (_bucket/_sum/_count) attach to
+// their base family.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []Sample
+}
+
+// Document is a parsed exposition.
+type Document struct {
+	// Families maps family name to its samples.
+	Families map[string]*Family
+	// Order lists family names in first-appearance order.
+	Order []string
+}
+
+// Value returns the first sample of family name whose labels include every
+// given pair. The bool reports whether one was found.
+func (d *Document) Value(name string, labels ...Label) (float64, bool) {
+	f := d.Families[name]
+	if f == nil {
+		return 0, false
+	}
+	for _, s := range f.Samples {
+		if s.Name != name {
+			continue
+		}
+		if matchLabels(s.Labels, labels) {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Buckets gathers the cumulative histogram buckets of family name for the
+// series selected by the given labels (le excluded from matching), sorted
+// by bound. Nil when the family has no matching buckets.
+func (d *Document) Buckets(name string, labels ...Label) []Bucket {
+	f := d.Families[name]
+	if f == nil {
+		return nil
+	}
+	var out []Bucket
+	for _, s := range f.Samples {
+		if s.Name != name+"_bucket" || !matchLabels(s.Labels, labels) {
+			continue
+		}
+		le, err := parseBound(s.Labels["le"])
+		if err != nil {
+			continue
+		}
+		out = append(out, Bucket{LE: le, Cum: uint64(s.Value)})
+	}
+	sortBuckets(out)
+	return out
+}
+
+func matchLabels(have map[string]string, want []Label) bool {
+	for _, l := range want {
+		if have[l.Name] != l.Value {
+			return false
+		}
+	}
+	return true
+}
+
+func parseBound(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// Parse reads a text exposition into a Document. It is strict about the
+// line grammar (the lint half of the telemetry-smoke CI job rides on it):
+// malformed label escapes, missing values, or samples with no parseable
+// shape are errors naming their line.
+func Parse(r io.Reader) (*Document, error) {
+	d := &Document{Families: make(map[string]*Family)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			if err := d.parseComment(text); err != nil {
+				return nil, fmt.Errorf("promtext: line %d: %w", line, err)
+			}
+			continue
+		}
+		s, err := parseSample(text)
+		if err != nil {
+			return nil, fmt.Errorf("promtext: line %d: %w", line, err)
+		}
+		fam := d.family(familyName(s.Name, d))
+		fam.Samples = append(fam.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// parseComment handles # HELP / # TYPE; other comments are ignored.
+func (d *Document) parseComment(text string) error {
+	rest, ok := strings.CutPrefix(text, "# HELP ")
+	if ok {
+		name, help, _ := strings.Cut(rest, " ")
+		if name == "" {
+			return fmt.Errorf("HELP line without metric name")
+		}
+		d.family(name).Help = unescapeHelp(help)
+		return nil
+	}
+	rest, ok = strings.CutPrefix(text, "# TYPE ")
+	if !ok {
+		return nil // free-form comment
+	}
+	name, typ, _ := strings.Cut(rest, " ")
+	if name == "" {
+		return fmt.Errorf("TYPE line without metric name")
+	}
+	switch typ {
+	case TypeCounter, TypeGauge, TypeHistogram, TypeUntyped, "summary":
+	default:
+		return fmt.Errorf("unknown metric type %q", typ)
+	}
+	d.family(name).Type = typ
+	return nil
+}
+
+// family returns (creating if needed) the named family.
+func (d *Document) family(name string) *Family {
+	if f, ok := d.Families[name]; ok {
+		return f
+	}
+	f := &Family{Name: name}
+	d.Families[name] = f
+	d.Order = append(d.Order, name)
+	return f
+}
+
+// familyName attributes a sample to its family: histogram children map to
+// their declared base family, everything else to the sample name itself.
+func familyName(sample string, d *Document) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(sample, suffix)
+		if !ok {
+			continue
+		}
+		if f, exists := d.Families[base]; exists && f.Type == TypeHistogram {
+			return base
+		}
+	}
+	return sample
+}
+
+// parseSample parses `name{labels} value [timestamp]`.
+func parseSample(text string) (Sample, error) {
+	nameEnd := strings.IndexAny(text, "{ ")
+	if nameEnd <= 0 {
+		return Sample{}, fmt.Errorf("sample line %q: no metric name", text)
+	}
+	s := Sample{Name: text[:nameEnd], Labels: map[string]string{}}
+	rest := text[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		rest, err = parseLabels(rest, s.Labels)
+		if err != nil {
+			return Sample{}, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+	}
+	rest = strings.TrimLeft(rest, " \t")
+	valueStr, _, _ := strings.Cut(rest, " ") // optional timestamp after value
+	if valueStr == "" {
+		return Sample{}, fmt.Errorf("sample %s: missing value", s.Name)
+	}
+	v, err := parseBound(valueStr)
+	if err != nil {
+		if valueStr == "NaN" {
+			v = math.NaN()
+		} else {
+			return Sample{}, fmt.Errorf("sample %s: bad value %q", s.Name, valueStr)
+		}
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels consumes a {a="b",...} block, returning the remainder.
+func parseLabels(text string, into map[string]string) (string, error) {
+	i := 1 // past '{'
+	for {
+		for i < len(text) && (text[i] == ' ' || text[i] == ',') {
+			i++
+		}
+		if i >= len(text) {
+			return "", fmt.Errorf("unterminated label block")
+		}
+		if text[i] == '}' {
+			return text[i+1:], nil
+		}
+		eq := strings.IndexByte(text[i:], '=')
+		if eq < 0 {
+			return "", fmt.Errorf("label without '='")
+		}
+		name := strings.TrimSpace(text[i : i+eq])
+		if name == "" {
+			return "", fmt.Errorf("empty label name")
+		}
+		i += eq + 1
+		if i >= len(text) || text[i] != '"' {
+			return "", fmt.Errorf("label %s: value not quoted", name)
+		}
+		i++
+		var b strings.Builder
+		for {
+			if i >= len(text) {
+				return "", fmt.Errorf("label %s: unterminated value", name)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				i++
+				if i >= len(text) {
+					return "", fmt.Errorf("label %s: dangling escape", name)
+				}
+				switch text[i] {
+				case '\\':
+					b.WriteByte('\\')
+				case '"':
+					b.WriteByte('"')
+				case 'n':
+					b.WriteByte('\n')
+				default:
+					return "", fmt.Errorf("label %s: bad escape \\%c", name, text[i])
+				}
+				i++
+				continue
+			}
+			b.WriteByte(c)
+			i++
+		}
+		into[name] = b.String()
+	}
+}
+
+func unescapeHelp(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// Lint parses an exposition and checks the structural invariants a
+// Prometheus scraper relies on: every histogram series carries a +Inf
+// bucket whose value equals its _count, bucket counts are monotone
+// nondecreasing in le, and no family mixes a declared type with
+// foreign-shaped samples. It returns the first violation.
+func Lint(r io.Reader) error {
+	d, err := Parse(r)
+	if err != nil {
+		return err
+	}
+	for _, name := range d.Order {
+		f := d.Families[name]
+		if f.Type != TypeHistogram {
+			continue
+		}
+		if err := lintHistogram(f); err != nil {
+			return fmt.Errorf("promtext: histogram %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// lintHistogram checks one histogram family's per-series invariants.
+func lintHistogram(f *Family) error {
+	type series struct {
+		buckets []Bucket
+		count   *float64
+		sum     bool
+	}
+	byKey := map[string]*series{}
+	keyOf := func(labels map[string]string) string {
+		keys := make([]string, 0, len(labels))
+		for k := range labels {
+			if k != "le" {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		for _, k := range keys {
+			b.WriteString(k + "=" + labels[k] + ";")
+		}
+		return b.String()
+	}
+	get := func(labels map[string]string) *series {
+		k := keyOf(labels)
+		s := byKey[k]
+		if s == nil {
+			s = &series{}
+			byKey[k] = s
+		}
+		return s
+	}
+	for _, s := range f.Samples {
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, err := parseBound(s.Labels["le"])
+			if err != nil {
+				return fmt.Errorf("bucket with unparseable le %q", s.Labels["le"])
+			}
+			sr := get(s.Labels)
+			sr.buckets = append(sr.buckets, Bucket{LE: le, Cum: uint64(s.Value)})
+		case f.Name + "_count":
+			v := s.Value
+			get(s.Labels).count = &v
+		case f.Name + "_sum":
+			get(s.Labels).sum = true
+		default:
+			return fmt.Errorf("foreign sample %s in histogram family", s.Name)
+		}
+	}
+	for key, sr := range byKey {
+		if len(sr.buckets) == 0 {
+			return fmt.Errorf("series {%s} has no buckets", key)
+		}
+		sortBuckets(sr.buckets)
+		last := sr.buckets[len(sr.buckets)-1]
+		if !math.IsInf(last.LE, 1) {
+			return fmt.Errorf("series {%s} missing le=\"+Inf\" bucket", key)
+		}
+		var prev uint64
+		for _, b := range sr.buckets {
+			if b.Cum < prev {
+				return fmt.Errorf("series {%s} bucket counts not monotone at le=%v", key, b.LE)
+			}
+			prev = b.Cum
+		}
+		if sr.count == nil {
+			return fmt.Errorf("series {%s} missing _count", key)
+		}
+		if uint64(*sr.count) != last.Cum {
+			return fmt.Errorf("series {%s} _count %v != +Inf bucket %d", key, *sr.count, last.Cum)
+		}
+		if !sr.sum {
+			return fmt.Errorf("series {%s} missing _sum", key)
+		}
+	}
+	return nil
+}

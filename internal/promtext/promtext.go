@@ -1,0 +1,261 @@
+// Package promtext is a zero-dependency encoder and parser for the
+// Prometheus text exposition format (version 0.0.4) — the `/metrics`
+// wire format every Prometheus-compatible scraper understands.
+//
+// The farm's proxies expose their counters, gauges and per-stage latency
+// histograms through this package (internal/httpproxy registers /metrics
+// on every proxy's mux), cmd/adctop scrapes and parses it back for the
+// live cluster dashboard, and the telemetry-smoke CI job lints every
+// proxy's output with the Parse/Lint half. Importing the real Prometheus
+// client would drag in ~20 transitive dependencies for what is, at heart,
+// a line format; the full format spec fits in this file instead.
+//
+// Format reminders encoded here:
+//
+//   - `# HELP name text` — help text escapes `\` and newline.
+//   - `# TYPE name counter|gauge|histogram|untyped`.
+//   - `name{label="value"} 1.5` — label values escape `\`, `"`, newline.
+//   - Histograms expand to `name_bucket{le="..."}` cumulative buckets
+//     (an `le="+Inf"` bucket is mandatory and equals `name_count`),
+//     plus `name_sum` and `name_count`.
+package promtext
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair. Writer emits labels in the order given;
+// callers wanting canonical output should pass them sorted.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Metric types as spelled in # TYPE lines.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+	TypeUntyped   = "untyped"
+)
+
+// Writer streams one exposition document. Families are declared with
+// Counter/Gauge/HistogramFamily and then filled with Sample/Histogram
+// calls; errors are sticky and surfaced by Flush.
+type Writer struct {
+	w      *bufio.Writer
+	family string
+	err    error
+}
+
+// NewWriter returns a Writer emitting to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Counter declares a counter family; subsequent Sample calls emit its
+// series.
+func (w *Writer) Counter(name, help string) { w.header(name, help, TypeCounter) }
+
+// Gauge declares a gauge family.
+func (w *Writer) Gauge(name, help string) { w.header(name, help, TypeGauge) }
+
+// HistogramFamily declares a histogram family; fill it with Histogram.
+func (w *Writer) HistogramFamily(name, help string) { w.header(name, help, TypeHistogram) }
+
+func (w *Writer) header(name, help, typ string) {
+	if w.err != nil {
+		return
+	}
+	w.family = name
+	if help != "" {
+		w.writeString("# HELP " + name + " " + escapeHelp(help) + "\n")
+	}
+	w.writeString("# TYPE " + name + " " + typ + "\n")
+}
+
+// Sample emits one series of the current family. A family with no Sample
+// calls is a legal empty series — the TYPE line alone is valid exposition.
+func (w *Writer) Sample(v float64, labels ...Label) {
+	w.sample(w.family, v, labels)
+}
+
+// sample writes name{labels} value.
+func (w *Writer) sample(name string, v float64, labels []Label) {
+	if w.err != nil {
+		return
+	}
+	w.writeString(name)
+	w.writeLabels(labels, "", 0)
+	w.writeString(" " + formatValue(v) + "\n")
+}
+
+// Histogram emits one histogram series of the current family: cumulative
+// bucket counts at the given upper bounds, the mandatory +Inf bucket, and
+// the _sum/_count pair. bounds and cum must be parallel; count is the
+// total observation count (the +Inf bucket), sum the sum of observations.
+func (w *Writer) Histogram(bounds []float64, cum []uint64, count uint64, sum float64, labels ...Label) {
+	if w.err != nil {
+		return
+	}
+	name := w.family
+	for i, b := range bounds {
+		w.writeString(name + "_bucket")
+		w.writeLabels(labels, "le", b)
+		w.writeString(" " + strconv.FormatUint(cum[i], 10) + "\n")
+	}
+	w.writeString(name + "_bucket")
+	w.writeLabels(labels, "le", math.Inf(1))
+	w.writeString(" " + strconv.FormatUint(count, 10) + "\n")
+	w.writeString(name + "_sum")
+	w.writeLabels(labels, "", 0)
+	w.writeString(" " + formatValue(sum) + "\n")
+	w.writeString(name + "_count")
+	w.writeLabels(labels, "", 0)
+	w.writeString(" " + strconv.FormatUint(count, 10) + "\n")
+}
+
+// writeLabels renders {a="b",...}, appending an le label when leName is
+// non-empty. No braces are emitted for a label-free series.
+func (w *Writer) writeLabels(labels []Label, leName string, le float64) {
+	hasLe := leName != ""
+	if len(labels) == 0 && !hasLe {
+		return
+	}
+	w.writeString("{")
+	for i, l := range labels {
+		if i > 0 {
+			w.writeString(",")
+		}
+		w.writeString(l.Name + `="` + escapeLabel(l.Value) + `"`)
+	}
+	if hasLe {
+		if len(labels) > 0 {
+			w.writeString(",")
+		}
+		w.writeString(leName + `="` + formatValue(le) + `"`)
+	}
+	w.writeString("}")
+}
+
+func (w *Writer) writeString(s string) {
+	if w.err == nil {
+		_, w.err = w.w.WriteString(s)
+	}
+}
+
+// Flush drains the buffer and returns the first error encountered.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// formatValue renders a sample value: shortest round-trip form, with the
+// spec's spellings for the special values.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes help text: backslash and newline.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// Bucket is one cumulative histogram bucket for quantile estimation.
+type Bucket struct {
+	// LE is the bucket's inclusive upper bound (+Inf for the last).
+	LE float64
+	// Cum is the cumulative observation count at or below LE.
+	Cum uint64
+}
+
+// HistQuantile estimates the q-th quantile from cumulative buckets sorted
+// by LE (the shape Parse returns via Family.Buckets). It interpolates
+// linearly inside the containing bucket; a quantile landing in the +Inf
+// bucket reports the highest finite bound. Returns 0 for empty data.
+func HistQuantile(buckets []Bucket, q float64) float64 {
+	if len(buckets) == 0 || q < 0 || q > 1 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Cum
+	if total == 0 {
+		return 0
+	}
+	target := q * float64(total)
+	var prevBound float64
+	var prevCum uint64
+	for _, b := range buckets {
+		if float64(b.Cum) >= target {
+			if math.IsInf(b.LE, 1) {
+				return prevBound
+			}
+			in := b.Cum - prevCum
+			if in == 0 {
+				return b.LE
+			}
+			frac := (target - float64(prevCum)) / float64(in)
+			return prevBound + frac*(b.LE-prevBound)
+		}
+		prevBound, prevCum = b.LE, b.Cum
+	}
+	return prevBound
+}
+
+// sortBuckets orders buckets by bound (used by the parser so HistQuantile
+// sees monotone input even if the exposition interleaved series).
+func sortBuckets(b []Bucket) {
+	sort.Slice(b, func(i, j int) bool { return b[i].LE < b[j].LE })
+}
